@@ -1,0 +1,32 @@
+# Convenience targets for the lttng-noise reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples coverage clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) examples/generate_figures.py figures 1.5
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/sequoia_case_study.py 1.0
+	$(PYTHON) examples/noise_disambiguation.py
+	$(PYTHON) examples/paraver_export.py paraver_out LAMMPS
+	$(PYTHON) examples/scalability_projection.py
+	$(PYTHON) examples/noise_injection_study.py
+	$(PYTHON) examples/custom_workload.py
+	$(PYTHON) examples/kernel_regression_workflow.py
+	$(PYTHON) examples/cluster_study.py
+
+clean:
+	rm -rf figures paraver_out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

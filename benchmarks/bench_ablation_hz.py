@@ -1,0 +1,59 @@
+"""Ablation: the timer-tick frequency (HZ) design choice.
+
+The paper sets "the frequency of this periodic high resolution timer to the
+lowest possible" to minimize periodic noise, and Tables V/VI hinge on
+HZ=100.  This ablation sweeps HZ and shows the periodic category scaling
+linearly with it — the quantitative version of the paper's configuration
+advice (and of the tick-related noise literature it cites: Tsafrir et al.'s
+"System noise, OS clock ticks, and fine-grained parallel applications").
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import once
+from repro.core import NoiseAnalysis, NoiseCategory, TraceMeta
+from repro.tracing.tracer import Tracer
+from repro.util.units import SEC, fmt_ns
+from repro.workloads import SequoiaWorkload
+
+HZ_VALUES = (100, 250, 1000)
+
+
+def run_with_hz(hz: int):
+    workload = SequoiaWorkload("SPHOT", nominal_ns=1 * SEC)
+    node = workload.build_node(seed=23, ncpus=4)
+    node = type(node)(dataclasses.replace(node.config, hz=hz))
+    tracer = Tracer(node)
+    tracer.attach()
+    workload.install(node)
+    node.run(1 * SEC)
+    return NoiseAnalysis(tracer.finish(), meta=TraceMeta.from_node(node))
+
+
+def test_hz_ablation(benchmark, echo):
+    analyses = once(benchmark, lambda: {hz: run_with_hz(hz) for hz in HZ_VALUES})
+
+    echo("\n=== Ablation: timer tick frequency (SPHOT) ===")
+    echo(f"{'HZ':>6s} {'tick freq':>10s} {'periodic noise':>16s} "
+         f"{'periodic share':>15s} {'total noise':>13s}")
+    rows = {}
+    for hz, analysis in analyses.items():
+        tick = analysis.stats("timer_interrupt")
+        periodic = analysis.breakdown_ns()[NoiseCategory.PERIODIC]
+        share = analysis.breakdown_fractions()[NoiseCategory.PERIODIC]
+        rows[hz] = (tick.freq, periodic, share)
+        echo(f"{hz:6d} {tick.freq:10.1f} {fmt_ns(periodic):>16s} "
+             f"{100 * share:14.1f}% {fmt_ns(analysis.total_noise_ns()):>13s}")
+
+    # Tick frequency tracks HZ.
+    for hz in HZ_VALUES:
+        assert rows[hz][0] == pytest.approx(hz, rel=0.1)
+    # Periodic noise scales roughly linearly with HZ.
+    ratio = rows[1000][1] / rows[100][1]
+    echo(f"\nperiodic noise scaling 100->1000 Hz: {ratio:.1f}x (ideal 10x)")
+    assert 5.0 < ratio < 15.0
+    # And its share of total noise grows monotonically.
+    shares = [rows[hz][2] for hz in HZ_VALUES]
+    assert shares == sorted(shares)

@@ -1,0 +1,66 @@
+"""Extension: measured (not projected) noise sensitivity of a BSP app.
+
+The scalability bench projects noise to large machines; this one *measures*
+the amplification mechanism directly on the simulated node: an 8-rank
+bulk-synchronous application iterates at a fixed granularity, noise is
+injected on a single CPU, and every iteration waits for the noisiest rank.
+Reproduces Ferreira et al.'s headline findings at node scale: sensitivity
+depends on the noise *shape*, not just its budget — the paper's
+high-frequency/fine-grained vs low-frequency/coarse-grained distinction.
+"""
+
+import pytest
+
+from conftest import once
+from repro.simkernel.injection import inject
+from repro.util.units import MSEC, SEC, USEC, fmt_ns
+from repro.workloads.synthetic import BSPWorkload
+
+GRANULARITY = 1 * MSEC
+#: Equal 1 % budgets with very different shapes.
+SHAPES = {
+    "baseline (no injection)": None,
+    "10000/s x 1 us (fine)": (10_000, 1 * USEC),
+    "100/s x 100 us (medium)": (100, 100 * USEC),
+    "10/s x 1 ms (resonant)": (10, 1000 * USEC),
+}
+
+
+def run_shape(shape):
+    workload = BSPWorkload(granularity_ns=GRANULARITY)
+    node = workload.build_node(seed=29, ncpus=8)
+    workload.install(node)
+    if shape is not None:
+        rate, duration = shape
+        inject(node, rate, duration, cpus=[0])
+    node.run(2 * SEC)
+    return workload.mean_slowdown(), workload.iteration_times()
+
+
+def test_bsp_noise_sensitivity(benchmark, echo):
+    results = once(
+        benchmark, lambda: {label: run_shape(s) for label, s in SHAPES.items()}
+    )
+
+    echo("\n=== Measured BSP sensitivity (8 ranks, 1 ms granularity, "
+         "1 % noise budget on one CPU) ===")
+    for label, (slowdown, times) in results.items():
+        worst = fmt_ns(int(times.max())) if times.size else "-"
+        echo(f"{label:28s} slowdown {slowdown:.4f}   worst iteration {worst}")
+
+    base, base_times = results["baseline (no injection)"]
+    fine, fine_times = results["10000/s x 1 us (fine)"]
+    medium, _ = results["100/s x 100 us (medium)"]
+    resonant, resonant_times = results["10/s x 1 ms (resonant)"]
+
+    # All injections hurt relative to baseline.
+    for label, (slowdown, _) in results.items():
+        if label != "baseline (no injection)":
+            assert slowdown > base
+    # Coarser shapes hurt more than fine at equal budget...
+    assert medium > fine - 0.002
+    assert resonant > fine - 0.002
+    # ...and the resonant shape (event length == compute granularity)
+    # produces by far the worst single iteration: a whole extra quantum.
+    assert resonant_times.max() > 1.8 * GRANULARITY
+    assert resonant_times.max() > 1.5 * fine_times.max()

@@ -1,0 +1,67 @@
+"""Extension: noise cloning — fit a measured profile, replay it elsewhere.
+
+Closes the measurement->injection loop: the noise profile fitted from a
+traced AMG run is replayed (event rates + empirical durations, bootstrap)
+on a clean node running a pure spinner; the replayed node's injected noise
+must reproduce the fitted budget, and a gang-scheduling what-if from the
+cluster study quantifies the co-scheduling idea of the related work.
+"""
+
+import pytest
+
+from conftest import once
+from repro.core import NoiseAnalysis, TraceMeta, fit_noise_profile
+from repro.core.cluster import ClusterStudy
+from repro.simkernel import ComputeNode, NodeConfig
+from repro.tracing.tracer import Tracer
+from repro.util.units import MSEC, SEC, fmt_ns
+from repro.workloads import SequoiaWorkload
+from repro.workloads.synthetic import SpinProgram
+
+
+def test_noise_cloning_and_cosched(benchmark, runs, echo):
+    def compute():
+        _, _, _, analysis = runs.sequoia("AMG")
+        profile = fit_noise_profile(analysis, min_events=10)
+
+        node = ComputeNode(NodeConfig(ncpus=2, seed=123))
+        tracer = Tracer(node, record_overhead_ns=0)
+        tracer.attach()
+        node.spawn_rank("victim", 0, SpinProgram())
+        node.spawn_rank("victim2", 1, SpinProgram())
+        profile.replay_on(node)
+        node.run(2 * SEC)
+        replayed = NoiseAnalysis(
+            tracer.finish(), meta=TraceMeta.from_node(node)
+        )
+
+        cluster = ClusterStudy.run(
+            lambda: SequoiaWorkload("LAMMPS", nominal_ns=600 * MSEC),
+            nnodes=6,
+            duration_ns=600 * MSEC,
+            base_seed=900,
+            ncpus=2,
+        )
+        cosched = cluster.coscheduling_benefit(5 * MSEC)
+        return profile, replayed, cosched
+
+    profile, replayed, cosched = once(benchmark, compute)
+
+    echo("\n=== Noise cloning: AMG profile -> clean node ===")
+    echo(profile.describe())
+    injected = replayed.stats("injected_noise")
+    measured = injected.total / (replayed.span_ns / 1e9) / replayed.ncpus
+    echo(f"\nreplayed injected budget: {measured:,.0f} ns/cpu-s "
+         f"(fitted: {profile.total_budget_ns_per_cpu_sec:,.0f})")
+    assert measured == pytest.approx(
+        profile.total_budget_ns_per_cpu_sec, rel=0.35
+    )
+
+    echo("\n=== Co-scheduling what-if (6 LAMMPS nodes, 5 ms intervals) ===")
+    echo(f"barrier penalty, independent OS activity: "
+         f"{fmt_ns(int(cosched['penalty_unsync_ns']))}")
+    echo(f"barrier penalty, gang-scheduled activity: "
+         f"{fmt_ns(int(cosched['penalty_cosched_ns']))}")
+    echo(f"benefit: {cosched['benefit_ratio']:.2f}x "
+         f"(Jones et al.'s parallel-awareness idea)")
+    assert cosched["benefit_ratio"] >= 1.0

@@ -1,0 +1,86 @@
+"""Extension: analyzer validation by kernel-level noise injection.
+
+Related-work methodology (Ferreira et al., SC'08) turned into a validation
+harness: inject noise with *known* parameters, trace, analyze, and compare
+the analyzer's output against ground truth.  Also reruns the classic
+equal-budget experiment behind the paper's Section II discussion:
+high-frequency/short-duration vs low-frequency/long-duration noise with the
+same total budget have identical breakdowns locally but very different
+projected impact at scale.
+"""
+
+import pytest
+
+from conftest import once
+from repro.core import NoiseAnalysis, TraceMeta, project_slowdown
+from repro.core.scalability import per_interval_noise_samples
+from repro.simkernel import ComputeNode, NodeConfig, RankProgram
+from repro.simkernel.distributions import from_stats
+from repro.simkernel.injection import inject
+from repro.tracing.tracer import Tracer
+from repro.util.units import MSEC, SEC, USEC, fmt_ns
+
+
+class Spin(RankProgram):
+    def step(self, node, task):
+        node.continue_compute(task, 10 * MSEC)
+
+
+def _run_injected(rate, duration_model, seed=17):
+    node = ComputeNode(NodeConfig(ncpus=2, seed=seed))
+    tracer = Tracer(node, record_overhead_ns=0)
+    tracer.attach()
+    node.spawn_rank("r", 0, Spin())
+    injector = inject(node, rate, duration_model, cpus=[0])
+    node.run(3 * SEC)
+    trace = tracer.finish()
+    analysis = NoiseAnalysis(trace, meta=TraceMeta.from_node(node))
+    return injector, analysis
+
+
+def test_injection_validation_and_resonance(benchmark, echo):
+    def compute():
+        # Ground-truth validation: stochastic injected noise.
+        injector, analysis = _run_injected(
+            200, from_stats(1_000, 5_000, 80_000)
+        )
+        # Equal-budget resonance pair: 0.5% noise budget each.
+        _, fine = _run_injected(5000, 1 * USEC)      # 5000/s x 1 us
+        _, coarse = _run_injected(5, 1000 * USEC)    # 5/s x 1 ms
+        return injector, analysis, fine, coarse
+
+    injector, analysis, fine, coarse = once(benchmark, compute)
+
+    stats = analysis.stats("injected_noise")
+    count_err = abs(stats.count - injector.injected_count)
+    ns_err = abs(stats.total - injector.injected_ns)
+    echo("\n=== Analyzer validation against injected ground truth ===")
+    echo(f"injected: {injector.injected_count} events, "
+         f"{fmt_ns(injector.injected_ns)} total")
+    echo(f"analyzer: {stats.count} events, {fmt_ns(stats.total)} total")
+    echo(f"error: {count_err} events, {fmt_ns(ns_err)}")
+    assert count_err <= 1
+    assert ns_err <= 100_000  # at most one boundary-cut event
+
+    echo("\n=== Equal-budget resonance: 5000/s x 1 us vs 5/s x 1 ms ===")
+    g = 1 * MSEC
+    rows = {}
+    for label, an in (("fine-grained noise", fine), ("coarse-grained noise", coarse)):
+        samples = per_interval_noise_samples(an, g, cpu=0)
+        points = project_slowdown(samples, g, [1, 1024], rng=2)
+        rows[label] = points
+        echo(f"{label:22s} noise={fmt_ns(an.total_noise_ns())}  "
+             f"slowdown@1={points[0].slowdown:.4f}  "
+             f"slowdown@1024={points[1].slowdown:.4f}")
+
+    fine_total = fine.total_noise_ns()
+    coarse_total = coarse.total_noise_ns()
+    # Same budget locally (within 20 %)...
+    assert fine_total == pytest.approx(coarse_total, rel=0.2)
+    # ...but at scale, the coarse (1 ms events vs 1 ms granularity —
+    # perfect resonance) noise is far more damaging: its worst interval
+    # swallows the whole compute quantum.
+    assert (
+        rows["coarse-grained noise"][1].slowdown
+        > rows["fine-grained noise"][1].slowdown + 0.2
+    )

@@ -1,0 +1,51 @@
+"""Figure 3: OS noise breakdown for the Sequoia benchmarks.
+
+Regenerates the five-category stacked breakdown.  Paper anchors (quoted in
+Section IV-A): AMG page faults 82.4 %, UMT 86.7 %, SPHOT 13.5 %, LAMMPS
+10.2 %; preemption IRS 27.1 %, SPHOT 24.7 %, LAMMPS 80.2 %; periodic
+activities between 5 % and 10 % for every application except SPHOT.
+"""
+
+import pytest
+
+from conftest import once
+from repro.core import NoiseCategory
+from repro.core.report import format_breakdown
+
+PAPER = {
+    "AMG": {NoiseCategory.PAGE_FAULT: 0.824},
+    "IRS": {NoiseCategory.PREEMPTION: 0.271},
+    "LAMMPS": {NoiseCategory.PAGE_FAULT: 0.102, NoiseCategory.PREEMPTION: 0.802},
+    "SPHOT": {NoiseCategory.PAGE_FAULT: 0.135, NoiseCategory.PREEMPTION: 0.247},
+    "UMT": {NoiseCategory.PAGE_FAULT: 0.867},
+}
+
+APPS = ("AMG", "IRS", "LAMMPS", "SPHOT", "UMT")
+
+
+def test_fig03_noise_breakdown(benchmark, runs, echo):
+    def compute():
+        return {
+            app: runs.sequoia(app)[3].breakdown_fractions() for app in APPS
+        }
+
+    fractions = once(benchmark, compute)
+
+    echo("\n=== Figure 3: OS noise breakdown (measured) ===")
+    echo(format_breakdown("measured", fractions))
+    echo(format_breakdown("paper (quoted anchors)", {
+        app: anchors for app, anchors in PAPER.items()
+    }))
+
+    # Shape assertions from the paper's prose.
+    assert fractions["AMG"][NoiseCategory.PAGE_FAULT] > 0.6
+    assert fractions["UMT"][NoiseCategory.PAGE_FAULT] > 0.6
+    assert fractions["LAMMPS"][NoiseCategory.PREEMPTION] > 0.55
+    assert fractions["LAMMPS"][NoiseCategory.PAGE_FAULT] < 0.25
+    assert fractions["IRS"][NoiseCategory.PREEMPTION] > 0.15
+    assert fractions["SPHOT"][NoiseCategory.PREEMPTION] > 0.12
+    # "Periodic activities are limited (5-10%) for all applications but
+    # SPHOT": SPHOT's periodic share dwarfs everyone else's.
+    for app in ("AMG", "LAMMPS", "UMT"):
+        assert fractions[app][NoiseCategory.PERIODIC] < 0.15
+    assert fractions["SPHOT"][NoiseCategory.PERIODIC] > 0.25

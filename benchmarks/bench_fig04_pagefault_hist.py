@@ -1,0 +1,46 @@
+"""Figure 4: page fault duration distributions (AMG vs LAMMPS).
+
+The paper chose these two because their shapes differ: AMG shows two main
+peaks (~2.5 us and ~4.5 us) with a long tail (Fig. 4a); LAMMPS is one-sided
+with a single peak around 2.5 us (Fig. 4b).  Histograms are cut at the 99th
+percentile, as the paper's footnote 3 does.
+"""
+
+import pytest
+
+from conftest import once
+from repro.core import duration_histogram
+from repro.core.report import format_histogram
+from repro.util.units import fmt_ns
+
+
+def test_fig04_fault_duration_distributions(benchmark, runs, echo):
+    def compute():
+        return {
+            app: duration_histogram(
+                runs.sequoia(app)[3].durations("page_fault"), bins=60
+            )
+            for app in ("AMG", "LAMMPS")
+        }
+
+    hists = once(benchmark, compute)
+
+    echo("\n=== Figure 4a: AMG page fault durations (99th pct cut) ===")
+    echo(format_histogram(hists["AMG"], max_rows=20))
+    echo("\n=== Figure 4b: LAMMPS page fault durations (99th pct cut) ===")
+    echo(format_histogram(hists["LAMMPS"], max_rows=20))
+
+    amg_peaks = hists["AMG"].peaks(min_rel_height=0.3)
+    lam_peaks = hists["LAMMPS"].peaks(min_rel_height=0.5)
+    echo(f"\nAMG peaks: {[fmt_ns(int(p)) for p in amg_peaks]} "
+         f"(paper: ~2.5 us and ~4.5 us)")
+    echo(f"LAMMPS peaks: {[fmt_ns(int(p)) for p in lam_peaks]} "
+         f"(paper: one-sided, main peak ~2.5 us)")
+
+    # AMG bimodal with peaks near the paper's.
+    assert len(amg_peaks) >= 2
+    assert any(1_800 < p < 3_400 for p in amg_peaks)
+    assert any(3_800 < p < 6_000 for p in amg_peaks)
+    # LAMMPS unimodal near 2.5 us.
+    assert len(lam_peaks) <= 2
+    assert 1_500 < hists["LAMMPS"].mode_ns() < 4_000

@@ -1,0 +1,43 @@
+"""Figure 8: run_timer_softirq duration distributions (AMG, UMT).
+
+"As confirmed from previous studies, the run_timer_softirq softirq has a
+long-tail density function."  The tail index (p99.9 / median) quantifies
+what the paper reads off the histograms.
+"""
+
+import pytest
+
+from conftest import once
+from repro.core import duration_histogram, tail_index
+from repro.core.report import format_histogram
+from repro.util.units import fmt_ns
+
+
+def test_fig08_timer_softirq_distributions(benchmark, runs, echo):
+    def compute():
+        return {
+            app: runs.sequoia(app)[3].durations("run_timer_softirq")
+            for app in ("AMG", "UMT")
+        }
+
+    durations = once(benchmark, compute)
+
+    echo("\n=== Figure 8: run_timer_softirq durations (99th pct cut) ===")
+    for app in ("AMG", "UMT"):
+        hist = duration_histogram(durations[app], bins=50)
+        echo(f"\n--- {app} (mean {fmt_ns(int(durations[app].mean()))}, "
+             f"tail index {tail_index(durations[app]):.1f}) ---")
+        echo(format_histogram(hist, max_rows=15))
+
+    for app in ("AMG", "UMT"):
+        arr = durations[app]
+        assert arr.size > 150
+        # Long tail: extreme values far beyond the median.
+        assert tail_index(arr) > 3.0, app
+        # Right-skewed: mean above median.
+        import numpy as np
+
+        assert arr.mean() > np.median(arr), app
+
+    # UMT's softirq is heavier than AMG's (paper: 3364 vs 1718 ns avg).
+    assert durations["UMT"].mean() > 1.3 * durations["AMG"].mean()

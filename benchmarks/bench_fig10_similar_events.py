@@ -1,0 +1,68 @@
+"""Figure 10: disambiguation of qualitatively similar activities.
+
+The paper's first case study, on AMG: a page fault of 2913 ns and a timer
+interruption (timer irq 2648 ns + run_timer_softirq 254 ns = 2902 ns) —
+11 ns apart, indistinguishable to any indirect tool, immediately separable
+in the trace.  This bench finds equal-duration different-cause interruption
+pairs in the AMG run.
+"""
+
+import pytest
+
+from conftest import once
+from repro.core import SyntheticNoiseChart, find_ambiguous_pairs
+from repro.util.units import fmt_ns
+
+
+def test_fig10_similar_duration_different_cause(benchmark, runs, echo):
+    node, trace, meta, analysis = runs.sequoia("AMG")
+
+    def compute():
+        chart = SyntheticNoiseChart(analysis, cpu=0)
+        pairs = find_ambiguous_pairs(
+            chart.interruptions, tolerance_ns=50, max_pairs=100
+        )
+        # The paper's exact scenario: a lone page fault whose duration
+        # matches a timer interruption (tick + softirq).  Search for the
+        # closest such cross pair explicitly.
+        faults = [
+            g for g in chart.interruptions if set(g.signature()) == {"page_fault"}
+        ]
+        ticks = [
+            g
+            for g in chart.interruptions
+            if "timer_interrupt" in g.signature()
+            and "page_fault" not in g.signature()
+        ]
+        from repro.core import AmbiguousPair
+
+        best = None
+        ticks_sorted = sorted(ticks, key=lambda g: g.noise_ns)
+        tick_durations = [g.noise_ns for g in ticks_sorted]
+        import bisect
+
+        for fault in faults:
+            i = bisect.bisect_left(tick_durations, fault.noise_ns)
+            for j in (i - 1, i):
+                if 0 <= j < len(ticks_sorted):
+                    candidate = AmbiguousPair(fault, ticks_sorted[j])
+                    if best is None or candidate.duration_gap_ns < best.duration_gap_ns:
+                        best = candidate
+        return chart, pairs, best
+
+    chart, pairs, best = once(benchmark, compute)
+
+    echo("\n=== Figure 10: qualitatively-similar interruptions (AMG) ===")
+    echo(f"interruptions on cpu0: {len(chart.interruptions)}")
+    echo(f"pairs within 50 ns of each other with different causes: {len(pairs)}")
+    assert pairs, "no ambiguous pairs at all"
+    assert best is not None, "the paper's page-fault-vs-tick case did not occur"
+    echo(f"\nclosest case (gap {best.duration_gap_ns} ns):")
+    echo("  " + best.explain())
+    for g in (best.first, best.second):
+        parts = ", ".join(
+            f"{a.name} ({fmt_ns(a.self_ns)})"
+            for a in sorted(g.activities, key=lambda a: a.start)
+        )
+        echo(f"  t={g.start}: {parts}")
+    assert best.duration_gap_ns <= 50

@@ -1,0 +1,57 @@
+"""Performance of the pipeline itself: simulation and analysis throughput.
+
+Not a paper experiment — engineering numbers for this implementation:
+how fast the substrate simulates (events/second of wall time) and how fast
+the analyzer chews records.  These run with multiple rounds (they are the
+only benches here where pytest-benchmark's statistics mean something).
+"""
+
+import pytest
+
+from repro.core import NoiseAnalysis, TraceMeta
+from repro.util.units import MSEC, SEC
+from repro.workloads import SequoiaWorkload
+
+
+def test_perf_simulation(benchmark):
+    """Simulate 500 ms of AMG (the event-heaviest workload) per round."""
+
+    def run():
+        workload = SequoiaWorkload("AMG", nominal_ns=500 * MSEC)
+        node, trace = workload.run_traced(500 * MSEC, seed=13)
+        return sum(p.n_records for p in trace.packets)
+
+    records = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert records > 10_000
+
+
+@pytest.fixture(scope="module")
+def amg_trace():
+    workload = SequoiaWorkload("AMG", nominal_ns=1 * SEC)
+    node, trace = workload.run_traced(1 * SEC, seed=13)
+    return trace, TraceMeta.from_node(node)
+
+
+def test_perf_analysis(benchmark, amg_trace):
+    """Full reconstruction+classification of ~90k records per round."""
+    trace, meta = amg_trace
+
+    def analyze():
+        return len(NoiseAnalysis(trace, meta=meta).activities)
+
+    n = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    assert n > 10_000
+
+
+def test_perf_decode(benchmark, amg_trace):
+    """Raw record decoding (numpy bulk path)."""
+    trace, meta = amg_trace
+    data = trace.to_bytes()
+
+    def decode():
+        from repro.tracing.ctf import Trace
+
+        return len(Trace.from_bytes(data).records())
+
+    n = benchmark.pedantic(decode, rounds=5, iterations=1)
+    assert n == sum(p.n_records for p in trace.packets)

@@ -1,0 +1,48 @@
+"""Table II: network interrupt handler frequency and duration per app."""
+
+import pytest
+
+from conftest import once
+from repro.core.report import format_table
+from repro.workloads import SEQUOIA_PROFILES
+
+APPS = ("AMG", "IRS", "LAMMPS", "SPHOT", "UMT")
+
+
+def test_table2_network_interrupts(benchmark, runs, echo):
+    def compute():
+        return {app: runs.sequoia(app)[3].stats("net_interrupt") for app in APPS}
+
+    rows = once(benchmark, compute)
+
+    echo("\n=== Table II: network interrupt events ===")
+    echo(
+        format_table(
+            "net_interrupt",
+            rows,
+            paper_rows={
+                app: (
+                    SEQUOIA_PROFILES[app].net_irq.freq,
+                    SEQUOIA_PROFILES[app].net_irq.avg,
+                    SEQUOIA_PROFILES[app].net_irq.max,
+                    SEQUOIA_PROFILES[app].net_irq.min,
+                )
+                for app in APPS
+            },
+        )
+    )
+
+    for app in APPS:
+        paper = SEQUOIA_PROFILES[app].net_irq
+        got = rows[app]
+        assert got.freq == pytest.approx(paper.freq, rel=0.40), app
+        assert got.avg == pytest.approx(paper.avg, rel=0.50), app
+
+    # Paper orderings: AMG has the most network interrupts, LAMMPS fewest.
+    assert rows["AMG"].freq > rows["IRS"].freq > rows["LAMMPS"].freq
+    assert rows["UMT"].freq > rows["SPHOT"].freq
+    # Interrupt rate is not simply rx + tx (NAPI coalescing / ACK traffic):
+    for app in ("AMG", "IRS", "UMT"):
+        rx = runs.sequoia(app)[3].stats("net_rx_action")
+        tx = runs.sequoia(app)[3].stats("net_tx_action")
+        assert rows[app].freq > rx.freq + tx.freq, app

@@ -1,0 +1,48 @@
+"""Table III: net_rx_action frequency and duration per application.
+
+The receive tasklet must be *slow and variable*: receiving is synchronous
+(the data must be copied out of the network buffer before anyone may touch
+it), unlike the fire-and-forget transmit path of Table IV.
+"""
+
+import pytest
+
+from conftest import once
+from repro.core.report import format_table
+from repro.workloads import SEQUOIA_PROFILES
+
+APPS = ("AMG", "IRS", "LAMMPS", "SPHOT", "UMT")
+
+
+def test_table3_net_rx_action(benchmark, runs, echo):
+    def compute():
+        return {app: runs.sequoia(app)[3].stats("net_rx_action") for app in APPS}
+
+    rows = once(benchmark, compute)
+
+    echo("\n=== Table III: net_rx_action ===")
+    echo(
+        format_table(
+            "net_rx_action",
+            rows,
+            paper_rows={
+                app: (
+                    SEQUOIA_PROFILES[app].net_rx.freq,
+                    SEQUOIA_PROFILES[app].net_rx.avg,
+                    SEQUOIA_PROFILES[app].net_rx.max,
+                    SEQUOIA_PROFILES[app].net_rx.min,
+                )
+                for app in APPS
+            },
+        )
+    )
+
+    for app in APPS:
+        paper = SEQUOIA_PROFILES[app].net_rx
+        got = rows[app]
+        assert got.freq == pytest.approx(paper.freq, rel=0.45), app
+        assert got.avg == pytest.approx(paper.avg, rel=0.50), app
+
+    # Ordering: AMG/IRS read most, LAMMPS reads rarely (but long).
+    assert rows["AMG"].freq > rows["LAMMPS"].freq
+    assert rows["IRS"].freq > rows["SPHOT"].freq

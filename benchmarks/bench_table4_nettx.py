@@ -1,0 +1,52 @@
+"""Table IV: net_tx_action frequency and duration per application.
+
+Paper Section IV-D: "the transmission tasklet is faster and more constant
+than the receiver tasklet", because sending is asynchronous — the tasklet
+returns as soon as the DMA engine is started.
+"""
+
+import pytest
+
+from conftest import once
+from repro.core.report import format_table
+from repro.workloads import SEQUOIA_PROFILES
+
+APPS = ("AMG", "IRS", "LAMMPS", "SPHOT", "UMT")
+
+
+def test_table4_net_tx_action(benchmark, runs, echo):
+    def compute():
+        return {app: runs.sequoia(app)[3].stats("net_tx_action") for app in APPS}
+
+    rows = once(benchmark, compute)
+
+    echo("\n=== Table IV: net_tx_action ===")
+    echo(
+        format_table(
+            "net_tx_action",
+            rows,
+            paper_rows={
+                app: (
+                    SEQUOIA_PROFILES[app].net_tx.freq,
+                    SEQUOIA_PROFILES[app].net_tx.avg,
+                    SEQUOIA_PROFILES[app].net_tx.max,
+                    SEQUOIA_PROFILES[app].net_tx.min,
+                )
+                for app in APPS
+            },
+        )
+    )
+
+    for app in APPS:
+        paper = SEQUOIA_PROFILES[app].net_tx
+        got = rows[app]
+        assert got.freq == pytest.approx(paper.freq, rel=0.6), app
+        assert got.avg == pytest.approx(paper.avg, rel=0.5), app
+
+    # The paper's headline claim: TX faster and steadier than RX, everywhere.
+    for app in APPS:
+        rx = runs.sequoia(app)[3].stats("net_rx_action")
+        tx = rows[app]
+        assert tx.avg < rx.avg, app
+        assert tx.std < rx.std, app
+        assert tx.max < rx.max, app

@@ -1,0 +1,53 @@
+"""Table VI: run_timer_softirq statistics per application.
+
+Same 100 ev/s frequency as the top half, but distinct durations — the
+methodology's ability to split the "timer interrupt" into top half and
+bottom half is one of the paper's selling points (Fig. 1d).
+"""
+
+import pytest
+
+from conftest import once
+from repro.core.report import format_table
+from repro.workloads import SEQUOIA_PROFILES
+
+APPS = ("AMG", "IRS", "LAMMPS", "SPHOT", "UMT")
+
+
+def test_table6_run_timer_softirq(benchmark, runs, echo):
+    def compute():
+        return {
+            app: runs.sequoia(app)[3].stats("run_timer_softirq") for app in APPS
+        }
+
+    rows = once(benchmark, compute)
+
+    echo("\n=== Table VI: run_timer_softirq statistics ===")
+    echo(
+        format_table(
+            "run_timer_softirq",
+            rows,
+            paper_rows={
+                app: (
+                    SEQUOIA_PROFILES[app].timer_softirq.freq,
+                    SEQUOIA_PROFILES[app].timer_softirq.avg,
+                    SEQUOIA_PROFILES[app].timer_softirq.max,
+                    SEQUOIA_PROFILES[app].timer_softirq.min,
+                )
+                for app in APPS
+            },
+        )
+    )
+
+    for app in APPS:
+        paper = SEQUOIA_PROFILES[app].timer_softirq
+        got = rows[app]
+        assert got.freq == pytest.approx(100.0, rel=0.03), app
+        assert got.avg == pytest.approx(paper.avg, rel=0.35), app
+        # Long-tail density: max far beyond the average (paper Fig. 8).
+        assert got.max > 5 * got.avg, app
+
+    # Softirq cheaper than its top half on average (both tables).
+    for app in APPS:
+        irq = runs.sequoia(app)[3].stats("timer_interrupt")
+        assert rows[app].avg < irq.avg * 1.1, app

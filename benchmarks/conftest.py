@@ -1,0 +1,80 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one of the paper's tables or figures.  Simulated
+executions are deterministic and cached for the whole session; each bench
+then measures (via pytest-benchmark) the analysis step it exercises and
+prints the paper's rows next to the measured ones.
+
+Run with ``pytest benchmarks/ --benchmark-only`` — add ``-s`` to also see
+the printed tables live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NoiseAnalysis, TraceMeta
+from repro.util.units import MSEC, SEC
+from repro.workloads import FTQWorkload, SequoiaWorkload
+
+#: Simulated run length for the Sequoia case study (the paper ran minutes;
+#: shape converges well before that and wall time stays reasonable).
+CASE_STUDY_NS = 2500 * MSEC
+SEED = 42
+
+
+class RunCache:
+    """Lazily simulate + analyze each workload once per session."""
+
+    def __init__(self) -> None:
+        self._runs = {}
+
+    def sequoia(self, name: str):
+        key = ("seq", name)
+        if key not in self._runs:
+            wl = SequoiaWorkload(name, nominal_ns=CASE_STUDY_NS)
+            node, trace = wl.run_traced(CASE_STUDY_NS, seed=SEED)
+            meta = TraceMeta.from_node(node)
+            self._runs[key] = (
+                node,
+                trace,
+                meta,
+                NoiseAnalysis(trace, meta=meta),
+            )
+        return self._runs[key]
+
+    def ftq(self, duration_ns=3 * SEC):
+        key = ("ftq", duration_ns)
+        if key not in self._runs:
+            wl = FTQWorkload()
+            node, trace = wl.run_traced(duration_ns, seed=SEED, ncpus=2)
+            meta = TraceMeta.from_node(node)
+            self._runs[key] = (
+                node,
+                trace,
+                meta,
+                NoiseAnalysis(trace, meta=meta),
+            )
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def runs():
+    return RunCache()
+
+
+@pytest.fixture
+def echo(capsys):
+    """Print through pytest's capture so tables reach the terminal."""
+
+    def _echo(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _echo
+
+
+def once(benchmark, fn):
+    """Benchmark an expensive pipeline stage exactly once and return its
+    result (analysis steps are deterministic; repetition adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Cluster-scale tracing study (the paper's Section III-B).
+
+Traces a small cluster of independent nodes running the same application
+and answers the three §III-B questions quantitatively:
+
+1. how fast does a sampled subset's noise profile converge to the whole
+   cluster's? ("enable tracing only on a statistically significant subset")
+2. how much does packet compression save? ("data-compression techniques at
+   run-time to reduce the data-size")
+3. what would gang-scheduling OS activity across nodes buy at the barrier?
+
+Run:  python examples/cluster_study.py [app] [nnodes] [seconds]
+"""
+
+import sys
+
+from repro.core.cluster import ClusterStudy
+from repro.util.units import MSEC, SEC, fmt_ns
+from repro.workloads import SequoiaWorkload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "AMG"
+    nnodes = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    seconds = float(sys.argv[3]) if len(sys.argv) > 3 else 0.8
+    duration = int(seconds * SEC)
+
+    print(f"tracing {nnodes} {app} nodes for {seconds:.1f} s each ...")
+    study = ClusterStudy.run(
+        lambda: SequoiaWorkload(app, nominal_ns=duration),
+        nnodes=nnodes,
+        duration_ns=duration,
+        base_seed=1000,
+        ncpus=4,
+    )
+
+    print("\ncluster noise breakdown:")
+    for category, fraction in study.breakdown().items():
+        print(f"  {category.value:12s} {100 * fraction:6.2f} %")
+
+    print("\nsubset convergence (L1 error vs full cluster):")
+    sizes = sorted({1, 2, nnodes // 2, nnodes})
+    for size, err in study.convergence(sizes, trials=15, rng=1).items():
+        print(f"  {size:3d} node(s): {err:.4f}")
+
+    plain = study.volume_bytes(compressed=False)
+    packed = study.volume_bytes(compressed=True)
+    print(f"\ntrace volume: {plain / 1e6:.2f} MB plain, "
+          f"{packed / 1e6:.2f} MB compressed "
+          f"({study.compression_ratio():.1f}x)")
+
+    cosched = study.coscheduling_benefit(5 * MSEC)
+    print(f"\nco-scheduling what-if (5 ms intervals):")
+    print(f"  barrier penalty, independent OS activity: "
+          f"{fmt_ns(int(cosched['penalty_unsync_ns']))}")
+    print(f"  barrier penalty, gang-scheduled:          "
+          f"{fmt_ns(int(cosched['penalty_cosched_ns']))}")
+    print(f"  benefit: {cosched['benefit_ratio']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""FTQ on *this machine* vs FTQ on the simulated node.
+
+The paper validates its tracer against FTQ; this example closes the loop
+the other way: it runs the classic FTQ micro-benchmark on the host you are
+sitting at (wall-clock, not deterministic!) and the simulated FTQ on the
+modelled compute node, then prints both noise profiles side by side.
+
+Run:  python examples/host_vs_simulated_ftq.py
+"""
+
+import numpy as np
+
+from repro.core import NoiseAnalysis, TraceMeta
+from repro.util.units import SEC, fmt_ns
+from repro.workloads import FTQWorkload, ftq_output, run_host_ftq
+
+
+def summarize(label, noise_ns, quantum_ns):
+    arr = np.asarray(noise_ns, dtype=np.float64)
+    noisy = arr[arr > 0]
+    print(f"{label}")
+    print(f"  quanta: {arr.size}, noisy: {noisy.size} "
+          f"({100 * noisy.size / max(arr.size, 1):.1f} %)")
+    print(f"  mean noise/quantum: {fmt_ns(int(arr.mean()))} "
+          f"({100 * arr.mean() / quantum_ns:.3f} % of the quantum)")
+    if noisy.size:
+        print(f"  p99 spike: {fmt_ns(int(np.percentile(arr, 99)))}, "
+              f"max spike: {fmt_ns(int(arr.max()))}")
+
+
+def main() -> None:
+    print("running FTQ on this host for 2 s (wall clock) ...")
+    host = run_host_ftq(duration_s=2.0, quantum_ms=1.0)
+    summarize("host machine:", host.noise_ns(), host.quantum_ns)
+
+    print("\nsimulating FTQ on the modelled 8-core node for 2 s ...")
+    workload = FTQWorkload()
+    node, trace = workload.run_traced(2 * SEC, seed=2, ncpus=8)
+    analysis = NoiseAnalysis(trace, meta=TraceMeta.from_node(node))
+    sim = ftq_output(analysis, cpu=0)
+    summarize("simulated node:", sim.trace_noise_ns, sim.quantum_ns)
+
+    print("\nunlike the host run, every simulated spike is explainable:")
+    from repro.core import SyntheticNoiseChart
+    from repro.core.report import format_interruptions
+
+    chart = SyntheticNoiseChart(analysis, cpu=0, noise_only=False)
+    print(format_interruptions(chart.largest(3)))
+
+
+if __name__ == "__main__":
+    main()

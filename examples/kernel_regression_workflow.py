@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""A kernel developer's regression workflow with lttng-noise.
+
+The paper's audience is "HPC OS designers and kernel developers trying to
+provide a system well suited to run HPC applications".  Their loop:
+
+    change the kernel -> trace the same workload -> diff the noise profiles
+
+This example plays that loop over three configuration changes on the same
+workload (UMT — it has user daemons for experiment 3 to act on), using the
+profile-comparison machinery — the quantitative replacement for eyeballing
+FTQ charts:
+
+1. HZ 100 -> 1000        (expected: periodic regression)
+2. default -> NO_HZ idle  (expected: no noise change, smaller traces)
+3. daemons deprioritized  (expected: preemption improvement)
+
+The same diffs are available from the shell:
+    lttng-noise record AMG -o a && lttng-noise record AMG --hz 1000 -o b
+    lttng-noise compare a.lttnz b.lttnz --fail-on-regression
+
+Run:  python examples/kernel_regression_workflow.py
+"""
+
+import dataclasses
+
+from repro.core import NoiseAnalysis, TraceMeta, compare_profiles
+from repro.tracing.tracer import Tracer
+from repro.util.units import MSEC
+from repro.workloads import SequoiaWorkload
+
+DURATION = 1500 * MSEC
+
+
+def run_config(**overrides) -> NoiseAnalysis:
+    workload = SequoiaWorkload("UMT", nominal_ns=DURATION)
+    node = workload.build_node(seed=77, ncpus=8)
+    if overrides:
+        node = type(node)(dataclasses.replace(node.config, **overrides))
+    tracer = Tracer(node)
+    tracer.attach()
+    workload.install(node)
+    node.run(DURATION)
+    return NoiseAnalysis(tracer.finish(), meta=TraceMeta.from_node(node))
+
+
+def main() -> None:
+    print("tracing the baseline (HZ=100, default policies) ...")
+    baseline = run_config()
+
+    experiments = {
+        "HZ=1000": {"hz": 1000},
+        "NO_HZ idle": {"nohz_idle": True},
+        "daemons deprioritized": {"deprioritize_user_daemons": True},
+    }
+    for label, overrides in experiments.items():
+        print(f"\n=== {label} vs baseline ===")
+        candidate = run_config(**overrides)
+        comparison = compare_profiles(baseline, candidate, threshold=0.15)
+        print(comparison.report())
+        if comparison.regressions():
+            names = ", ".join(d.name for d in comparison.regressions())
+            print(f"--> regressions: {names}")
+        if comparison.improvements():
+            names = ", ".join(d.name for d in comparison.improvements())
+            print(f"--> improvements: {names}")
+
+
+if __name__ == "__main__":
+    main()

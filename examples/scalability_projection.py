@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Project measured node noise onto large machines, with ablations.
+
+The reason OS noise matters (the paper's introduction, citing Petrini et
+al.): bulk-synchronous applications wait for the slowest of N nodes at
+every collective, so rare per-node events dominate at scale.  This example:
+
+1. measures AMG's per-interval noise distribution on the simulated node;
+2. projects collective slowdown for machines of 1 to 8192 nodes;
+3. repeats with noise sources ablated — what a CNK-style lightweight
+   kernel (no page faults) or daemon isolation would recover;
+4. scans application granularity to show noise resonance.
+
+Run:  python examples/scalability_projection.py
+"""
+
+from repro.core import (
+    NoiseAnalysis,
+    NoiseCategory,
+    TraceMeta,
+    ablated_samples,
+    project_slowdown,
+    resonance_scan,
+)
+from repro.util.units import MSEC, fmt_ns
+from repro.workloads import SequoiaWorkload
+
+NODES = (1, 16, 256, 2048, 8192)
+GRANULARITY = 1 * MSEC
+
+
+def main() -> None:
+    duration = 2000 * MSEC
+    print("simulating AMG for 2 s ...")
+    workload = SequoiaWorkload("AMG", nominal_ns=duration)
+    node, trace = workload.run_traced(duration, seed=13)
+    analysis = NoiseAnalysis(trace, meta=TraceMeta.from_node(node))
+
+    configs = {
+        "full noise": [],
+        "no page faults (CNK-style)": [NoiseCategory.PAGE_FAULT],
+        "no preemption/IO (isolated core)": [
+            NoiseCategory.PREEMPTION,
+            NoiseCategory.IO,
+        ],
+        "periodic only (ideal daemons+mm)": [
+            NoiseCategory.PAGE_FAULT,
+            NoiseCategory.PREEMPTION,
+            NoiseCategory.IO,
+            NoiseCategory.SCHEDULING,
+        ],
+    }
+
+    print(f"\nprojected slowdown of a {fmt_ns(GRANULARITY)}-granularity "
+          f"BSP application:")
+    print(f"{'configuration':36s} " + " ".join(f"{n:>7d}" for n in NODES))
+    for label, drop in configs.items():
+        samples = ablated_samples(analysis, GRANULARITY, drop_categories=drop)
+        points = project_slowdown(samples, GRANULARITY, NODES, rng=1)
+        row = " ".join(f"{p.slowdown:7.3f}" for p in points)
+        print(f"{label:36s} {row}")
+
+    print("\nnoise resonance: slowdown at 2048 nodes vs app granularity:")
+    scan = resonance_scan(
+        analysis, [200_000, 1 * MSEC, 10 * MSEC, 100 * MSEC], nodes=2048, rng=1
+    )
+    for g, slowdown in scan.items():
+        print(f"  granularity {fmt_ns(g):>8s}: slowdown {slowdown:.3f}")
+
+
+if __name__ == "__main__":
+    main()

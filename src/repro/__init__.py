@@ -1,0 +1,15 @@
+"""lttng-noise: quantitative per-event OS noise analysis.
+
+Reproduction of Morari, Gioiosa, Wisniewski, Cazorla, Valero,
+"A Quantitative Analysis of OS Noise", IEEE IPDPS 2011.
+
+Public API tour
+---------------
+* :mod:`repro.simkernel` -- simulated Linux compute node (the substrate).
+* :mod:`repro.tracing` -- LTTng-like tracer: ring buffers + binary traces.
+* :mod:`repro.workloads` -- FTQ and Sequoia-style workload models.
+* :mod:`repro.core` -- the paper's contribution: per-event noise analysis.
+* :mod:`repro.io` -- Paraver and Matlab-style exporters.
+"""
+
+__version__ = "1.0.0"

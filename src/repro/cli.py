@@ -1,0 +1,452 @@
+"""Command-line interface: record, analyze and export noise traces.
+
+Mirrors the lttng-noise workflow end to end from a shell::
+
+    # simulate a traced workload, producing trace + metadata sidecar
+    lttng-noise record AMG --duration 2s --seed 7 -o amg
+
+    # the paper-style report: per-event tables + Figure 3 breakdown
+    lttng-noise report amg.lttnz
+
+    # the synthetic OS noise chart, zoomed
+    lttng-noise chart amg.lttnz --cpu 0 --top 10
+
+    # export for Paraver / Matlab-style post-processing
+    lttng-noise export amg.lttnz --paraver out/amg --csv out/amg.csv
+
+    # FTQ validation (for FTQ recordings)
+    lttng-noise record FTQ -o ftq && lttng-noise ftq-compare ftq.lttnz
+
+Every subcommand accepts ``--meta FILE``; by default the ``.meta.json``
+sidecar written by ``record`` is looked up next to the trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    NoiseAnalysis,
+    SyntheticNoiseChart,
+    TraceMeta,
+    find_ambiguous_pairs,
+)
+from repro.core.report import (
+    format_breakdown,
+    format_interruptions,
+    format_table,
+)
+from repro.tracing.ctf import Trace
+from repro.util.units import fmt_ns, parse_duration
+from repro.workloads import (
+    DEFAULT_OP_NS,
+    DEFAULT_QUANTUM_NS,
+    FTQWorkload,
+    SEQUOIA_PROFILES,
+    SequoiaWorkload,
+    ftq_output,
+)
+
+
+def _load(trace_path: str, meta_path: Optional[str]) -> "tuple[Trace, TraceMeta]":
+    trace = Trace.from_file(trace_path)
+    if meta_path is None:
+        candidate = os.path.splitext(trace_path)[0] + ".meta.json"
+        meta_path = candidate if os.path.exists(candidate) else None
+    meta = TraceMeta.from_file(meta_path) if meta_path else TraceMeta()
+    return trace, meta
+
+
+def _analysis(args) -> NoiseAnalysis:
+    trace, meta = _load(args.trace, args.meta)
+    return NoiseAnalysis(trace, meta=meta)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_record(args) -> int:
+    import dataclasses
+
+    from repro.tracing.tracer import Tracer
+
+    name = args.workload.upper()
+    duration = parse_duration(args.duration)
+    if name == "FTQ":
+        workload = FTQWorkload()
+    elif name in SEQUOIA_PROFILES:
+        workload = SequoiaWorkload(name, nominal_ns=duration)
+    else:
+        choices = ["FTQ"] + sorted(SEQUOIA_PROFILES)
+        print(f"unknown workload {args.workload!r}; choose from {choices}",
+              file=sys.stderr)
+        return 2
+    node = workload.build_node(seed=args.seed, ncpus=args.ncpus)
+    overrides = {}
+    if args.hz is not None:
+        overrides["hz"] = args.hz
+    if args.nohz:
+        overrides["nohz_idle"] = True
+    if args.deprioritize_daemons:
+        overrides["deprioritize_user_daemons"] = True
+    if overrides:
+        node = type(node)(dataclasses.replace(node.config, **overrides))
+    tracer = Tracer(node)
+    tracer.attach()
+    workload.install(node)
+    node.run(duration)
+    trace = tracer.finish()
+    base = args.output
+    trace_path = base + ".lttnz"
+    meta_path = base + ".meta.json"
+    trace.to_file(trace_path, compress=args.compress)
+    TraceMeta.from_node(node).to_file(meta_path)
+    n = sum(p.n_records for p in trace.packets)
+    print(f"recorded {name}: {n} records over {fmt_ns(trace.span_ns)} "
+          f"-> {trace_path}, {meta_path}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.report import full_report
+
+    analysis = _analysis(args)
+    if args.json:
+        import json as json_mod
+
+        payload = {
+            "span_ns": analysis.span_ns,
+            "ncpus": analysis.ncpus,
+            "total_noise_ns": analysis.total_noise_ns(),
+            "noise_fraction": analysis.noise_fraction(),
+            "noise_imbalance": analysis.noise_imbalance(),
+            "breakdown": {
+                c.value: f for c, f in analysis.breakdown_fractions().items()
+            },
+            "events": {
+                name: {
+                    "freq_per_cpu_sec": stats.freq,
+                    "avg_ns": stats.avg,
+                    "max_ns": stats.max,
+                    "min_ns": stats.min,
+                    "count": stats.count,
+                    "total_ns": stats.total,
+                }
+                for name, stats in analysis.stats_by_event(
+                    noise_only=not args.all_events
+                ).items()
+            },
+        }
+        print(json_mod.dumps(payload, indent=2))
+        return 0
+    if args.all_events:
+        rows = analysis.stats_by_event(noise_only=False)
+        print(format_table(
+            "Per-event statistics, all activities (freq per CPU-second)", rows
+        ))
+        print()
+    print(full_report(analysis, meta=analysis.meta))
+    if args.phases:
+        from repro.core.phases import phase_stats, split_phases
+
+        phases = split_phases(analysis)
+        if len(phases) > 1:
+            print(f"\nphases ({len(phases)}):")
+            rows = phase_stats(analysis, args.phases, phases)
+            for phase, stats in rows:
+                print(
+                    f"  [{fmt_ns(phase.start - analysis.start_ts):>10s} - "
+                    f"{fmt_ns(phase.end - analysis.start_ts):>10s}] "
+                    f"{args.phases}: {stats.freq:8.1f} ev/s  "
+                    f"avg {stats.avg:8.0f} ns"
+                )
+        else:
+            print("\n(no phase markers in this trace)")
+    if analysis.records is not None and len(analysis.records):
+        print(f"\nrecords: {len(analysis.records)}, span {fmt_ns(analysis.span_ns)}, "
+              f"{analysis.ncpus} cpus")
+    return 0
+
+
+def cmd_chart(args) -> int:
+    analysis = _analysis(args)
+    chart = SyntheticNoiseChart(
+        analysis, cpu=args.cpu, noise_only=not args.all_events
+    )
+    print(f"{len(chart.interruptions)} interruptions"
+          + (f" on cpu{args.cpu}" if args.cpu is not None else ""))
+    if args.window:
+        t0, t1 = (parse_duration(part) for part in args.window.split(":"))
+        groups = chart.window(analysis.start_ts + t0, analysis.start_ts + t1)
+        print(format_interruptions(groups, limit=args.top,
+                                   t_origin=analysis.start_ts))
+    else:
+        print("largest interruptions:")
+        print(format_interruptions(chart.largest(args.top),
+                                   t_origin=analysis.start_ts))
+    if args.ambiguous:
+        pairs = find_ambiguous_pairs(
+            chart.interruptions, tolerance_ns=args.ambiguous
+        )
+        print(f"\n{len(pairs)} same-duration different-cause pairs "
+              f"(tolerance {args.ambiguous} ns):")
+        for pair in pairs[: args.top]:
+            print("  " + pair.explain())
+    return 0
+
+
+def cmd_export(args) -> int:
+    trace, meta = _load(args.trace, args.meta)
+    analysis = NoiseAnalysis(trace, meta=meta)
+    did = False
+    if args.paraver:
+        from repro.io import ParaverWriter
+
+        writer = ParaverWriter(meta, analysis.ncpus, analysis.end_ts)
+        files = writer.export(args.paraver, analysis.activities)
+        print("paraver: " + ", ".join(files))
+        did = True
+    if args.csv:
+        from repro.io import activities_to_csv
+
+        n = activities_to_csv(args.csv, analysis.activities)
+        print(f"csv: {n} rows -> {args.csv}")
+        did = True
+    if args.npz:
+        from repro.io import export_npz
+
+        export_npz(args.npz, analysis)
+        print(f"npz: {args.npz}")
+        did = True
+    if args.chrome:
+        from repro.core.timeline import TaskTimeline
+        from repro.io import export_chrome_trace
+
+        timeline = TaskTimeline(
+            analysis.records, meta=meta, end_ts=analysis.end_ts
+        )
+        n = export_chrome_trace(
+            args.chrome,
+            analysis.activities,
+            meta,
+            timeline=timeline,
+            ncpus=analysis.ncpus,
+        )
+        print(f"chrome: {n} events -> {args.chrome} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+        did = True
+    if not did:
+        print("nothing to do: pass --paraver/--csv/--npz/--chrome",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.core import compare_profiles
+
+    trace_a, meta_a = _load(args.baseline, args.meta_a)
+    trace_b, meta_b = _load(args.candidate, args.meta_b)
+    comparison = compare_profiles(
+        NoiseAnalysis(trace_a, meta=meta_a),
+        NoiseAnalysis(trace_b, meta=meta_b),
+        threshold=args.threshold,
+    )
+    print(comparison.report())
+    if args.fail_on_regression and comparison.regressions():
+        return 1
+    return 0
+
+
+def cmd_fit(args) -> int:
+    from repro.core import fit_noise_profile
+
+    analysis = _analysis(args)
+    profile = fit_noise_profile(analysis, min_events=args.min_events)
+    print(profile.describe())
+    profile.save(args.output)
+    print(f"\nsaved {len(profile.sources)} sources -> {args.output}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.core import NoiseProfile
+    from repro.simkernel import ComputeNode, NodeConfig
+    from repro.tracing.tracer import Tracer
+    from repro.workloads.synthetic import SpinProgram
+
+    profile = NoiseProfile.load(args.profile)
+    duration = parse_duration(args.duration)
+    node = ComputeNode(NodeConfig(ncpus=args.ncpus, seed=args.seed))
+    tracer = Tracer(node)
+    tracer.attach()
+    for i in range(args.ncpus):
+        node.spawn_rank(f"victim.{i}", i, SpinProgram())
+    profile.replay_on(node)
+    node.run(duration)
+    trace = tracer.finish()
+    base = args.output
+    trace.to_file(base + ".lttnz")
+    TraceMeta.from_node(node).to_file(base + ".meta.json")
+    print(f"replayed {len(profile.sources)} sources for "
+          f"{fmt_ns(duration)} -> {base}.lttnz")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.core.report import render_ascii_trace
+
+    analysis = _analysis(args)
+    t0 = analysis.start_ts
+    t1 = analysis.end_ts
+    if args.window:
+        begin, end = (parse_duration(part) for part in args.window.split(":"))
+        t0, t1 = analysis.start_ts + begin, analysis.start_ts + end
+    activities = [
+        a for a in analysis.activities if args.all_events or a.is_noise
+    ]
+    print(render_ascii_trace(
+        activities, t0, t1, analysis.ncpus, width=args.width
+    ))
+    return 0
+
+
+def cmd_ftq_compare(args) -> int:
+    analysis = _analysis(args)
+    comparison = ftq_output(
+        analysis,
+        cpu=args.cpu,
+        quantum_ns=parse_duration(args.quantum),
+        op_ns=parse_duration(args.op),
+    )
+    print(f"quanta: {len(comparison.ftq_noise_ns)}  "
+          f"(quantum {fmt_ns(comparison.quantum_ns)}, "
+          f"op {fmt_ns(comparison.op_ns)})")
+    print(f"correlation:        {comparison.correlation():.4f}")
+    print(f"mean overestimate:  {comparison.mean_overestimate_ns():.1f} ns")
+    print(f"mean abs error:     {comparison.mean_abs_error_ns():.1f} ns")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lttng-noise",
+        description="quantitative per-event OS noise analysis "
+        "(IPDPS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("record", help="simulate a traced workload")
+    p.add_argument("workload", help="FTQ or a Sequoia benchmark name")
+    p.add_argument("--duration", default="2s", help="simulated time (e.g. 2s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ncpus", type=int, default=8)
+    p.add_argument("--hz", type=int, help="override the tick frequency")
+    p.add_argument("--nohz", action="store_true",
+                   help="tickless idle (NO_HZ)")
+    p.add_argument("--deprioritize-daemons", action="store_true",
+                   help="run user daemons below application ranks")
+    p.add_argument("--compress", action="store_true",
+                   help="zlib-compress trace packets")
+    p.add_argument("-o", "--output", default="trace", help="output basename")
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("report", help="per-event tables + noise breakdown")
+    p.add_argument("trace")
+    p.add_argument("--meta")
+    p.add_argument("--all-events", action="store_true",
+                   help="include non-noise activities")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (for CI pipelines)")
+    p.add_argument("--phases", metavar="EVENT",
+                   help="also show per-phase stats for one event "
+                        "(phases come from workload markers)")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("chart", help="the synthetic OS noise chart")
+    p.add_argument("trace")
+    p.add_argument("--meta")
+    p.add_argument("--cpu", type=int)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--window", help="zoom, e.g. '100ms:150ms' from trace start")
+    p.add_argument("--all-events", action="store_true")
+    p.add_argument("--ambiguous", type=int, metavar="TOL_NS",
+                   help="also list same-duration different-cause pairs")
+    p.set_defaults(fn=cmd_chart)
+
+    p = sub.add_parser("export", help="Paraver / CSV / NPZ export")
+    p.add_argument("trace")
+    p.add_argument("--meta")
+    p.add_argument("--paraver", metavar="BASENAME")
+    p.add_argument("--csv", metavar="FILE")
+    p.add_argument("--npz", metavar="FILE")
+    p.add_argument("--chrome", metavar="FILE",
+                   help="Chrome trace-event JSON (Perfetto)")
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser(
+        "compare", help="diff two noise profiles (kernel A vs kernel B)"
+    )
+    p.add_argument("baseline")
+    p.add_argument("candidate")
+    p.add_argument("--meta-a")
+    p.add_argument("--meta-b")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="relative budget change counted as a real move")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 1 if any event's noise budget regressed")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "fit", help="fit a replayable noise profile from a trace"
+    )
+    p.add_argument("trace")
+    p.add_argument("--meta")
+    p.add_argument("--min-events", type=int, default=5)
+    p.add_argument("-o", "--output", default="profile.npz")
+    p.set_defaults(fn=cmd_fit)
+
+    p = sub.add_parser(
+        "replay", help="replay a fitted noise profile on a clean node"
+    )
+    p.add_argument("profile")
+    p.add_argument("--duration", default="2s")
+    p.add_argument("--ncpus", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default="replayed")
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser(
+        "timeline", help="ASCII execution-trace view (Fig. 5/7 style)"
+    )
+    p.add_argument("trace")
+    p.add_argument("--meta")
+    p.add_argument("--window", help="zoom, e.g. '100ms:150ms' from start")
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--all-events", action="store_true")
+    p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser("ftq-compare", help="FTQ vs trace validation")
+    p.add_argument("trace")
+    p.add_argument("--meta")
+    p.add_argument("--cpu", type=int, default=0)
+    p.add_argument("--quantum", default=str(DEFAULT_QUANTUM_NS))
+    p.add_argument("--op", default=str(DEFAULT_OP_NS))
+    p.set_defaults(fn=cmd_ftq_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

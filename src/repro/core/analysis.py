@@ -1,0 +1,299 @@
+"""The analysis facade: from a trace to the paper's numbers.
+
+:class:`NoiseAnalysis` reconstructs activities, classifies noise, and
+answers the questions the paper's tables and figures ask:
+
+* per-event frequency/duration statistics (Tables I-VI) — frequencies are
+  per CPU-second, durations are *self* time so nesting never double counts;
+* the five-category noise breakdown (Figure 3);
+* duration arrays for histograms (Figures 4, 6, 8);
+* per-quantum noise timelines (the synthetic chart / FTQ comparison);
+* raw activity access for traces and filters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.classify import classify_activities, noise_activities
+from repro.core.model import (
+    Activity,
+    BREAKDOWN_CATEGORIES,
+    NoiseCategory,
+    PREEMPT_EVENT,
+    TraceMeta,
+)
+from repro.core.nesting import build_activities, build_preemptions
+from repro.tracing.ctf import Trace
+from repro.tracing.events import NAME_TO_EVENT, RECORD_DTYPE
+from repro.util.stats import DurationStats, describe_durations
+from repro.util.units import SEC
+
+#: Name accepted for the scheduler-derived pseudo event.
+PREEMPT_NAME = "preemption"
+
+
+class NoiseAnalysis:
+    """Offline lttng-noise analysis of one recorded execution."""
+
+    def __init__(
+        self,
+        trace: Union[Trace, np.ndarray],
+        meta: Optional[TraceMeta] = None,
+        span_ns: Optional[int] = None,
+        ncpus: Optional[int] = None,
+    ) -> None:
+        if isinstance(trace, Trace):
+            records = trace.records()
+            self.ncpus = ncpus if ncpus is not None else trace.ncpus
+            self.start_ts = trace.start_ts
+            self.end_ts = trace.end_ts
+        else:
+            records = np.asarray(trace, dtype=RECORD_DTYPE)
+            self.ncpus = ncpus if ncpus is not None else (
+                int(records["cpu"].max()) + 1 if len(records) else 1
+            )
+            self.start_ts = int(records["time"].min()) if len(records) else 0
+            self.end_ts = int(records["time"].max()) if len(records) else 0
+        if span_ns is not None:
+            self.end_ts = self.start_ts + span_ns
+        self.span_ns = max(1, self.end_ts - self.start_ts)
+        self.records = records
+        self.meta = meta if meta is not None else TraceMeta()
+
+        kacts = build_activities(records, end_ts=self.end_ts)
+        preemptions = build_preemptions(
+            records, self.meta, end_ts=self.end_ts, kact_activities=kacts
+        )
+        #: Every reconstructed activity, time-sorted, classified.
+        self.activities: List[Activity] = classify_activities(
+            kacts, preemptions, self.meta
+        )
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        event: Union[int, str, None] = None,
+        category: Optional[NoiseCategory] = None,
+        cpu: Optional[int] = None,
+        noise_only: bool = False,
+        include_truncated: bool = False,
+    ) -> List[Activity]:
+        """Filter activities; ``event`` accepts ids or kernel-style names."""
+        event_id = _resolve_event(event)
+        out = []
+        for act in self.activities:
+            if event_id is not None and act.event != event_id:
+                continue
+            if category is not None and act.category != category:
+                continue
+            if cpu is not None and act.cpu != cpu:
+                continue
+            if noise_only and not act.is_noise:
+                continue
+            if not include_truncated and act.truncated:
+                continue
+            out.append(act)
+        return out
+
+    def noise(self) -> List[Activity]:
+        return noise_activities(self.activities)
+
+    def durations(
+        self,
+        event: Union[int, str],
+        cpu: Optional[int] = None,
+        noise_only: bool = False,
+    ) -> np.ndarray:
+        """Self-time durations (ns) of one activity type, for histograms."""
+        acts = self.select(event=event, cpu=cpu, noise_only=noise_only)
+        return np.array([a.self_ns for a in acts], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Tables (paper Tables I-VI shape)
+    # ------------------------------------------------------------------
+    def stats(
+        self,
+        event: Union[int, str],
+        noise_only: bool = False,
+    ) -> DurationStats:
+        """One ``(freq, avg, max, min)`` row; freq is per CPU-second."""
+        durations = self.durations(event, noise_only=noise_only)
+        return describe_durations(durations, self.span_ns, cpus=self.ncpus)
+
+    def stats_by_event(self, noise_only: bool = True) -> Dict[str, DurationStats]:
+        """Stats for every activity type present in the trace."""
+        groups: Dict[str, List[int]] = {}
+        for act in self.activities:
+            if act.truncated:
+                continue
+            if noise_only and not act.is_noise:
+                continue
+            groups.setdefault(act.name, []).append(act.self_ns)
+        return {
+            name: describe_durations(values, self.span_ns, cpus=self.ncpus)
+            for name, values in sorted(groups.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Breakdown (Figure 3)
+    # ------------------------------------------------------------------
+    def breakdown_ns(self) -> Dict[NoiseCategory, int]:
+        """Total noise self-time per category (truncated included)."""
+        totals: Dict[NoiseCategory, int] = {c: 0 for c in BREAKDOWN_CATEGORIES}
+        for act in self.activities:
+            if act.is_noise:
+                totals[act.category] = totals.get(act.category, 0) + act.self_ns
+        return totals
+
+    def breakdown_fractions(self) -> Dict[NoiseCategory, float]:
+        totals = self.breakdown_ns()
+        grand = sum(totals.values())
+        if grand == 0:
+            return {c: 0.0 for c in totals}
+        return {c: v / grand for c, v in totals.items()}
+
+    def total_noise_ns(self) -> int:
+        return sum(a.self_ns for a in self.activities if a.is_noise)
+
+    def noise_fraction(self) -> float:
+        """Noise time as a fraction of total CPU time observed."""
+        return self.total_noise_ns() / (self.span_ns * self.ncpus)
+
+    def per_cpu_noise_ns(self) -> np.ndarray:
+        """Total noise per CPU — where the jitter actually lands."""
+        out = np.zeros(self.ncpus, dtype=np.int64)
+        for act in self.activities:
+            if act.is_noise and act.cpu < self.ncpus:
+                out[act.cpu] += act.self_ns
+        return out
+
+    def per_cpu_breakdown(self) -> "Dict[int, Dict[NoiseCategory, int]]":
+        """Per-CPU category totals (noise only)."""
+        out: Dict[int, Dict[NoiseCategory, int]] = {
+            cpu: {c: 0 for c in BREAKDOWN_CATEGORIES} for cpu in range(self.ncpus)
+        }
+        for act in self.activities:
+            if act.is_noise and act.cpu < self.ncpus:
+                per_cpu = out[act.cpu]
+                per_cpu[act.category] = per_cpu.get(act.category, 0) + act.self_ns
+        return out
+
+    def noise_imbalance(self) -> float:
+        """Max/mean ratio of per-CPU noise: 1.0 = perfectly even.
+
+        The paper's scalability argument is about *variation*: noise that
+        lands unevenly (one CPU taking the interrupts, one rank near the
+        rebalance victim) creates the stragglers collectives wait for.
+        """
+        per_cpu = self.per_cpu_noise_ns().astype(np.float64)
+        mean = per_cpu.mean()
+        if mean <= 0:
+            return 1.0
+        return float(per_cpu.max() / mean)
+
+    # ------------------------------------------------------------------
+    # Timelines (synthetic chart inputs, FTQ comparison)
+    # ------------------------------------------------------------------
+    def markers(self) -> "np.ndarray":
+        """Workload marker point events as ``(time, pid, arg)`` rows
+        (phase changes, FTQ quantum marks, ...)."""
+        from repro.tracing.events import Ev
+
+        records = self.records
+        mask = records["event"] == int(Ev.MARKER)
+        chosen = records[mask]
+        out = np.zeros((int(mask.sum()), 3), dtype=np.int64)
+        out[:, 0] = chosen["time"]
+        out[:, 1] = chosen["pid"]
+        out[:, 2] = chosen["arg"].astype(np.int64)
+        return out
+
+    def noise_timeline(
+        self,
+        quantum_ns: int,
+        cpu: Optional[int] = None,
+        t0: Optional[int] = None,
+        t1: Optional[int] = None,
+    ) -> np.ndarray:
+        """Noise nanoseconds per quantum.
+
+        Each activity's self time is distributed proportionally over its
+        wall interval, then binned; exact for the (typical) activity that
+        fits inside one quantum.
+        """
+        if quantum_ns <= 0:
+            raise ValueError("quantum must be positive")
+        t0 = self.start_ts if t0 is None else t0
+        t1 = self.end_ts if t1 is None else t1
+        n = max(1, -(-(t1 - t0) // quantum_ns))
+        out = np.zeros(n, dtype=np.float64)
+        for act in self.activities:
+            if not act.is_noise or act.end <= t0 or act.start >= t1:
+                continue
+            if cpu is not None and act.cpu != cpu:
+                continue
+            total = act.total_ns if act.total_ns > 0 else 1
+            density = act.self_ns / total
+            first = max(0, (act.start - t0) // quantum_ns)
+            last = min(n - 1, (act.end - 1 - t0) // quantum_ns)
+            for q in range(first, last + 1):
+                q_begin = t0 + q * quantum_ns
+                q_end = q_begin + quantum_ns
+                out[q] += act.overlap(q_begin, q_end) * density
+        return out
+
+    def user_time_cumulative(self, cpu: int, t0: int, t1: int) -> "np.ndarray":
+        """Breakpoints of cumulative *user* time on a CPU — FTQ's ruler.
+
+        Returns an array of ``(wall_ts, user_ns)`` rows at every kernel
+        activity boundary on the CPU, suitable for interpolation.
+        """
+        marks: List[tuple] = []
+        for act in self.activities:
+            if act.cpu != cpu or act.depth != 0:
+                continue
+            if act.end <= t0 or act.start >= t1:
+                continue
+            marks.append((max(act.start, t0), min(act.end, t1)))
+        marks.sort()
+        # Merge overlaps (a tick nested inside a preemption window produces
+        # two overlapping depth-0 intervals).
+        merged: List[tuple] = []
+        for begin, end in marks:
+            if merged and begin <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((begin, end))
+        rows = [(t0, 0)]
+        user = 0
+        cursor = t0
+        for begin, end in merged:
+            if begin > cursor:
+                user += begin - cursor
+                cursor = begin
+            rows.append((begin, user))
+            if end > cursor:
+                cursor = end
+            rows.append((cursor, user))
+        if cursor < t1:
+            user += t1 - cursor
+        rows.append((t1, user))
+        return np.array(rows, dtype=np.int64)
+
+
+def _resolve_event(event: Union[int, str, None]) -> Optional[int]:
+    if event is None:
+        return None
+    if isinstance(event, str):
+        if event == PREEMPT_NAME:
+            return PREEMPT_EVENT
+        try:
+            return NAME_TO_EVENT[event]
+        except KeyError:
+            raise ValueError(f"unknown event name: {event!r}") from None
+    return int(event)

@@ -1,0 +1,119 @@
+"""The Synthetic OS Noise Chart (Figures 1b/1d, 9b, 10).
+
+FTQ perceives one opaque "spike" per interruption; the trace decomposes each
+spike into its kernel components.  This module groups temporally-adjacent
+noise activities into :class:`~repro.core.model.Interruption` objects and
+produces the chart series: one ``(time, noise_ns, composition)`` point per
+interruption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.analysis import NoiseAnalysis
+from repro.core.model import Activity, Interruption
+
+
+def build_interruptions(
+    activities: Sequence[Activity],
+    merge_gap_ns: int = 300,
+    cpu: Optional[int] = None,
+    noise_only: bool = True,
+) -> List[Interruption]:
+    """Group activities into interruptions.
+
+    Activities whose start lies within ``merge_gap_ns`` of the group's
+    current end belong to the same interruption — a timer interrupt, the
+    ``run_timer_softirq`` it triggers, the two halves of ``schedule()`` and
+    the daemon burst in between are back-to-back and form one interruption,
+    exactly as FTQ perceives them.
+    """
+    if merge_gap_ns < 0:
+        raise ValueError("merge gap must be non-negative")
+    per_cpu: Dict[int, List[Activity]] = {}
+    for act in activities:
+        if noise_only and not act.is_noise:
+            continue
+        if cpu is not None and act.cpu != cpu:
+            continue
+        per_cpu.setdefault(act.cpu, []).append(act)
+
+    out: List[Interruption] = []
+    for cpu_index, acts in per_cpu.items():
+        acts.sort(key=lambda a: (a.start, a.depth))
+        group: Optional[Interruption] = None
+        for act in acts:
+            if group is None or act.start > group.end + merge_gap_ns:
+                group = Interruption(
+                    cpu=cpu_index, start=act.start, end=act.end
+                )
+                out.append(group)
+            group.activities.append(act)
+            group.end = max(group.end, act.end)
+    out.sort(key=lambda g: (g.start, g.cpu))
+    return out
+
+
+class SyntheticNoiseChart:
+    """The per-interruption noise chart for one CPU (or the whole node)."""
+
+    def __init__(
+        self,
+        analysis: NoiseAnalysis,
+        cpu: Optional[int] = None,
+        merge_gap_ns: int = 300,
+        noise_only: bool = True,
+    ) -> None:
+        """``noise_only=False`` also shows excluded activities (syscalls,
+        the tracer daemon's own bursts) — useful when explaining a spike an
+        indirect tool like FTQ perceives but the noise accounting excludes."""
+        self.analysis = analysis
+        self.cpu = cpu
+        self.interruptions = build_interruptions(
+            analysis.activities,
+            merge_gap_ns=merge_gap_ns,
+            cpu=cpu,
+            noise_only=noise_only,
+        )
+
+    # ------------------------------------------------------------------
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, noise_ns)`` arrays — the chart's x/y values."""
+        times = np.array([g.start for g in self.interruptions], dtype=np.int64)
+        noise = np.array([g.noise_ns for g in self.interruptions], dtype=np.int64)
+        return times, noise
+
+    def window(self, t0: int, t1: int) -> List[Interruption]:
+        """Interruptions inside a time window (the paper's zoom views)."""
+        return [g for g in self.interruptions if t0 <= g.start < t1]
+
+    def at(self, time_ns: int, slack_ns: int = 0) -> Optional[Interruption]:
+        """The interruption covering (or nearest within slack of) a time."""
+        best = None
+        best_gap = None
+        for g in self.interruptions:
+            if g.start - slack_ns <= time_ns <= g.end + slack_ns:
+                gap = 0 if g.start <= time_ns <= g.end else min(
+                    abs(g.start - time_ns), abs(g.end - time_ns)
+                )
+                if best is None or gap < best_gap:
+                    best, best_gap = g, gap
+        return best
+
+    def largest(self, n: int = 10) -> List[Interruption]:
+        return sorted(
+            self.interruptions, key=lambda g: g.noise_ns, reverse=True
+        )[:n]
+
+    def total_noise_ns(self) -> int:
+        return sum(g.noise_ns for g in self.interruptions)
+
+    def describe_window(self, t0: int, t1: int) -> str:
+        """Text rendering of a zoomed window (Fig. 1d / Fig. 10 style)."""
+        lines = []
+        for g in self.window(t0, t1):
+            lines.append(g.describe())
+        return "\n".join(lines)

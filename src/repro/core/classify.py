@@ -1,0 +1,112 @@
+"""Noise vs. service classification.
+
+The paper's definition (Section III-A): OS noise is every kernel activity
+that (a) was **not explicitly requested** by the application (a ``read``
+system call is service, a timer tick is not), and (b) occurred while an
+application process was **runnable** — "we do not consider a kernel
+interruption as noise if, when it occurs, a process is blocked waiting for
+communication".
+
+The runnable test per activity:
+
+* context pid is an application rank → the rank was on-CPU, hence runnable;
+* context pid is a daemon → noise only if the daemon had displaced a
+  runnable rank (the preemption windows computed by
+  :func:`repro.core.nesting.build_preemptions` know this);
+* context pid is idle → no application was runnable on that CPU → not noise.
+
+Activities of the tracer's own collection daemon are excluded entirely
+(paper footnote 4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.core.model import (
+    Activity,
+    EVENT_CATEGORY,
+    NoiseCategory,
+    PREEMPT_EVENT,
+    TRACER_PREEMPT_EVENT,
+    TraceMeta,
+)
+from repro.simkernel.task import TaskKind
+
+
+def classify_activities(
+    kacts: List[Activity],
+    preemptions: List[Activity],
+    meta: TraceMeta,
+) -> List[Activity]:
+    """Assign categories and noise flags in place; returns all activities
+    merged and time-sorted."""
+    windows = _preemption_index(preemptions)
+
+    for act in kacts:
+        act.category = EVENT_CATEGORY.get(act.event, NoiseCategory.OTHER)
+        act.is_noise = _kact_is_noise(act, meta, windows)
+
+    for window in preemptions:
+        window.category = EVENT_CATEGORY.get(window.event, NoiseCategory.OTHER)
+        window.is_noise = (
+            window.event == PREEMPT_EVENT and window.displaced_pid is not None
+        )
+
+    merged = kacts + preemptions
+    merged.sort(key=lambda a: (a.start, a.cpu, a.depth))
+    return merged
+
+
+def _preemption_index(
+    preemptions: List[Activity],
+) -> Dict[int, Tuple[List[int], List[Activity]]]:
+    """Per-CPU sorted (starts, windows) for displaced-rank lookups."""
+    by_cpu: Dict[int, List[Activity]] = {}
+    for window in preemptions:
+        if window.event in (PREEMPT_EVENT, TRACER_PREEMPT_EVENT):
+            by_cpu.setdefault(window.cpu, []).append(window)
+    index: Dict[int, Tuple[List[int], List[Activity]]] = {}
+    for cpu, windows in by_cpu.items():
+        windows.sort(key=lambda w: w.start)
+        index[cpu] = ([w.start for w in windows], windows)
+    return index
+
+
+def _kact_is_noise(
+    act: Activity,
+    meta: TraceMeta,
+    windows: Dict[int, Tuple[List[int], List[Activity]]],
+) -> bool:
+    category = act.category
+    if category in (NoiseCategory.SERVICE, NoiseCategory.TRACER):
+        return False
+    kind = meta.kind_of(act.pid)
+    if kind == TaskKind.RANK:
+        # The interrupted application process was on-CPU: runnable.
+        return True
+    if kind == TaskKind.IDLE:
+        # No application wanted this CPU (blocked on comm/I-O): not noise.
+        return False
+    # Daemon context: noise only if the daemon displaced a runnable rank —
+    # then this activity delays that rank too.
+    entry = windows.get(act.cpu)
+    if entry is None:
+        return False
+    starts, cpu_windows = entry
+    idx = bisect.bisect_right(starts, act.start) - 1
+    if idx < 0:
+        return False
+    window = cpu_windows[idx]
+    return window.end > act.start and window.displaced_pid is not None
+
+
+def noise_activities(activities: List[Activity]) -> List[Activity]:
+    """Only the activities classified as noise."""
+    return [a for a in activities if a.is_noise]
+
+
+def service_activities(activities: List[Activity]) -> List[Activity]:
+    """Activities attributed to explicit application requests."""
+    return [a for a in activities if a.category == NoiseCategory.SERVICE]

@@ -1,0 +1,123 @@
+"""Noise-signature disambiguation (Section V).
+
+Indirect measurement collapses every interruption to a single duration; two
+very different kernel causes can produce the same number.  The paper gives
+two case studies, both reproduced here:
+
+* **qualitatively similar activities** (Fig. 10): a page fault of 2913 ns
+  next to a timer interrupt + ``run_timer_softirq`` totalling 2902 ns — an
+  11 ns difference no micro-benchmark can split, while the trace names both;
+* **composed events** (Fig. 9): a page fault landing in the same FTQ quantum
+  as a periodic timer tick makes that quantum's spike look like a different
+  (aperiodic) phenomenon; the trace shows two separate interruptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.model import Interruption
+
+
+@dataclass(frozen=True)
+class AmbiguousPair:
+    """Two interruptions indistinguishable by duration alone."""
+
+    first: Interruption
+    second: Interruption
+
+    @property
+    def duration_gap_ns(self) -> int:
+        return abs(self.first.noise_ns - self.second.noise_ns)
+
+    def explain(self) -> str:
+        a, b = self.first, self.second
+        return (
+            f"two interruptions of ~{a.noise_ns} ns vs ~{b.noise_ns} ns "
+            f"(gap {self.duration_gap_ns} ns) have different causes: "
+            f"{' + '.join(a.signature())} vs {' + '.join(b.signature())}"
+        )
+
+
+def find_ambiguous_pairs(
+    interruptions: Sequence[Interruption],
+    tolerance_ns: int = 100,
+    max_pairs: int = 50,
+    require_different_signature: bool = True,
+) -> List[AmbiguousPair]:
+    """Find interruption pairs with near-equal durations but (by default)
+    different compositions — the cases indirect tools cannot distinguish."""
+    if tolerance_ns < 0:
+        raise ValueError("tolerance must be non-negative")
+    by_duration = sorted(interruptions, key=lambda g: g.noise_ns)
+    pairs: List[AmbiguousPair] = []
+    for i in range(len(by_duration) - 1):
+        a = by_duration[i]
+        j = i + 1
+        while j < len(by_duration):
+            b = by_duration[j]
+            if b.noise_ns - a.noise_ns > tolerance_ns:
+                break
+            if not require_different_signature or _signatures_differ(a, b):
+                pairs.append(AmbiguousPair(a, b))
+                if len(pairs) >= max_pairs:
+                    return pairs
+            j += 1
+    return pairs
+
+
+def _signatures_differ(a: Interruption, b: Interruption) -> bool:
+    return set(a.signature()) != set(b.signature())
+
+
+@dataclass(frozen=True)
+class CompositionFinding:
+    """An interruption (or quantum) composed of unrelated events."""
+
+    interruption: Interruption
+    components: Tuple[str, ...]
+
+    def explain(self) -> str:
+        return (
+            f"the spike at t={self.interruption.start} is not one event: "
+            f"it is {' + '.join(self.components)} "
+            f"({self.interruption.noise_ns} ns total)"
+        )
+
+
+def find_composed(
+    interruptions: Sequence[Interruption],
+    min_components: int = 2,
+    distinct_categories: bool = True,
+) -> List[CompositionFinding]:
+    """Interruptions made of multiple (by default cross-category) events.
+
+    These are the cases where FTQ's per-quantum aggregation misleads: a page
+    fault plus a timer tick in one quantum looks like a single anomalous
+    event (Fig. 9a) until the trace splits it (Fig. 9b).
+    """
+    out: List[CompositionFinding] = []
+    for g in interruptions:
+        names = g.signature()
+        if len(names) < min_components:
+            continue
+        if distinct_categories:
+            categories = {a.category for a in g.activities}
+            if len(categories) < 2:
+                continue
+        out.append(CompositionFinding(g, names))
+    return out
+
+
+def quantum_composition(
+    interruptions: Sequence[Interruption],
+    t0: int,
+    quantum_ns: int,
+    index: int,
+) -> List[Interruption]:
+    """All interruptions inside FTQ quantum ``index`` — what actually made
+    up one spike of the FTQ chart."""
+    begin = t0 + index * quantum_ns
+    end = begin + quantum_ns
+    return [g for g in interruptions if begin <= g.start < end]

@@ -1,0 +1,101 @@
+"""Composable activity filters (paper Section III-A: "developers concerned
+about specific areas can use our infrastructure to drill down into any
+particular area of interest by simply applying different filters").
+
+Filters are callables ``Activity -> bool`` combinable with ``&``, ``|``
+and ``~``; :func:`apply` runs them over an activity list.  The same filters
+drive the Paraver exporter's masking (Figures 5 and 7 show traces with
+everything but one event type filtered out).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Union
+
+from repro.core.model import Activity, NoiseCategory
+from repro.tracing.events import NAME_TO_EVENT
+
+
+class Filter:
+    """A composable predicate over activities."""
+
+    def __init__(self, fn: Callable[[Activity], bool], label: str = "") -> None:
+        self.fn = fn
+        self.label = label or getattr(fn, "__name__", "filter")
+
+    def __call__(self, act: Activity) -> bool:
+        return self.fn(act)
+
+    def __and__(self, other: "Filter") -> "Filter":
+        return Filter(
+            lambda a: self(a) and other(a), f"({self.label} & {other.label})"
+        )
+
+    def __or__(self, other: "Filter") -> "Filter":
+        return Filter(
+            lambda a: self(a) or other(a), f"({self.label} | {other.label})"
+        )
+
+    def __invert__(self) -> "Filter":
+        return Filter(lambda a: not self(a), f"~{self.label}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Filter {self.label}>"
+
+
+def by_event(*names_or_ids: Union[str, int]) -> Filter:
+    """Keep activities of the given event types."""
+    ids = set()
+    for item in names_or_ids:
+        if isinstance(item, str):
+            if item == "preemption":
+                from repro.core.model import PREEMPT_EVENT
+
+                ids.add(PREEMPT_EVENT)
+            elif item in NAME_TO_EVENT:
+                ids.add(NAME_TO_EVENT[item])
+            else:
+                raise ValueError(f"unknown event name: {item!r}")
+        else:
+            ids.add(int(item))
+    label = f"event in {sorted(ids)}"
+    return Filter(lambda a: a.event in ids, label)
+
+
+def by_category(*categories: NoiseCategory) -> Filter:
+    cats = set(categories)
+    return Filter(lambda a: a.category in cats, f"category in {sorted(c.value for c in cats)}")
+
+
+def by_cpu(*cpus: int) -> Filter:
+    cpu_set = set(cpus)
+    return Filter(lambda a: a.cpu in cpu_set, f"cpu in {sorted(cpu_set)}")
+
+
+def by_pid(*pids: int) -> Filter:
+    pid_set = set(pids)
+    return Filter(lambda a: a.pid in pid_set, f"pid in {sorted(pid_set)}")
+
+
+def by_window(t0: int, t1: int) -> Filter:
+    """Keep activities overlapping the window (Paraver-style zoom)."""
+    return Filter(lambda a: a.end > t0 and a.start < t1, f"window [{t0},{t1})")
+
+
+def noise_only() -> Filter:
+    return Filter(lambda a: a.is_noise, "noise")
+
+
+def min_duration(ns: int) -> Filter:
+    return Filter(lambda a: a.self_ns >= ns, f"self >= {ns}ns")
+
+
+def apply(
+    activities: Iterable[Activity], *filters: Filter
+) -> List[Activity]:
+    """Apply all filters conjunctively."""
+    out = []
+    for act in activities:
+        if all(f(act) for f in filters):
+            out.append(act)
+    return out

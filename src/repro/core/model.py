@@ -1,0 +1,232 @@
+"""Data model of the offline noise analysis.
+
+An :class:`Activity` is one reconstructed kernel activity instance — a timer
+interrupt, one ``run_timer_softirq`` execution, a page fault, or a pseudo
+activity derived from scheduler events (a daemon preempting a rank).  The
+paper's key accounting subtlety lives here: activities *nest* (an interrupt
+during an exception handler), so each activity has both a **total** duration
+(wall time from entry to exit) and a **self** duration (total minus nested
+children).  Statistics use self time so nothing is double counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.simkernel.task import TaskKind
+from repro.tracing.events import Ev, event_name
+
+#: Pseudo event id for scheduler-derived preemption activities.
+PREEMPT_EVENT = 100
+#: Pseudo event id for preemptions by the tracer's own daemon (excluded
+#: from noise totals, following the paper's footnote 4).
+TRACER_PREEMPT_EVENT = 101
+
+
+class NoiseCategory(Enum):
+    """The paper's five noise categories (Section IV-A) plus bookkeeping."""
+
+    PERIODIC = "periodic"        # timer interrupt + run_timer_softirq
+    PAGE_FAULT = "page fault"    # page fault exception handler
+    SCHEDULING = "scheduling"    # schedule() + rcu + run_rebalance_domains
+    PREEMPTION = "preemption"    # daemons displacing application processes
+    IO = "io"                    # net irq handler + rx/tx tasklets
+    SERVICE = "service"          # requested by the app (syscalls): not noise
+    TRACER = "tracer"            # lttng-noise's own daemon: excluded
+    OTHER = "other"
+
+
+#: Category of each paired kernel event.
+EVENT_CATEGORY: Dict[int, NoiseCategory] = {
+    Ev.IRQ_TIMER: NoiseCategory.PERIODIC,
+    Ev.SOFTIRQ_TIMER: NoiseCategory.PERIODIC,
+    Ev.EXC_PAGE_FAULT: NoiseCategory.PAGE_FAULT,
+    Ev.SCHED_CALL: NoiseCategory.SCHEDULING,
+    Ev.SOFTIRQ_RCU: NoiseCategory.SCHEDULING,
+    Ev.SOFTIRQ_SCHED: NoiseCategory.SCHEDULING,
+    Ev.IRQ_NET: NoiseCategory.IO,
+    Ev.TASKLET_NET_RX: NoiseCategory.IO,
+    Ev.TASKLET_NET_TX: NoiseCategory.IO,
+    Ev.SYSCALL: NoiseCategory.SERVICE,
+    Ev.TRACER_FLUSH: NoiseCategory.TRACER,
+    Ev.INJECTED: NoiseCategory.OTHER,
+    PREEMPT_EVENT: NoiseCategory.PREEMPTION,
+    TRACER_PREEMPT_EVENT: NoiseCategory.TRACER,
+}
+
+#: The five categories shown in Figure 3, in the paper's order.
+BREAKDOWN_CATEGORIES: Tuple[NoiseCategory, ...] = (
+    NoiseCategory.PERIODIC,
+    NoiseCategory.PAGE_FAULT,
+    NoiseCategory.SCHEDULING,
+    NoiseCategory.PREEMPTION,
+    NoiseCategory.IO,
+)
+
+
+@dataclass
+class Activity:
+    """One reconstructed kernel activity instance."""
+
+    event: int
+    name: str
+    cpu: int
+    #: Context pid: whose execution this activity sat on top of.
+    pid: int
+    start: int
+    end: int
+    #: Wall duration (end - start).
+    total_ns: int
+    #: Duration minus nested children (what this activity itself consumed).
+    self_ns: int
+    #: Nesting depth (0 = directly above the context frame).
+    depth: int = 0
+    arg: int = 0
+    #: For preemption pseudo-activities: the displaced application pid.
+    displaced_pid: Optional[int] = None
+    #: True when the trace ended before the activity's EXIT record.
+    truncated: bool = False
+    category: NoiseCategory = NoiseCategory.OTHER
+    #: Does this activity count as OS noise (classify.py decides)?
+    is_noise: bool = False
+
+    def overlap(self, begin: int, end: int) -> int:
+        """Wall-clock overlap of this activity with a window, in ns."""
+        return max(0, min(self.end, end) - max(self.start, begin))
+
+
+@dataclass
+class Interruption:
+    """A maximal group of temporally-adjacent noise activities on one CPU.
+
+    This is what the synthetic OS noise chart plots: FTQ perceives one
+    "spike", the trace decomposes it into components (Figure 1b/1d).
+    """
+
+    cpu: int
+    start: int
+    end: int
+    activities: List[Activity] = field(default_factory=list)
+
+    @property
+    def noise_ns(self) -> int:
+        """Total noise of the interruption (sum of component self-times)."""
+        return sum(a.self_ns for a in self.activities)
+
+    @property
+    def span_ns(self) -> int:
+        return self.end - self.start
+
+    def signature(self) -> Tuple[str, ...]:
+        """Ordered component names — the interruption's *composition*.
+
+        Two interruptions with equal durations but different signatures are
+        exactly what Section V disambiguates.
+        """
+        return tuple(a.name for a in sorted(self.activities, key=lambda a: a.start))
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{a.name} ({a.self_ns} ns)"
+            for a in sorted(self.activities, key=lambda a: a.start)
+        )
+        return f"[{self.start}-{self.end}] cpu{self.cpu}: {parts}"
+
+
+@dataclass(frozen=True)
+class TaskInfo:
+    pid: int
+    name: str
+    kind: TaskKind
+
+
+class TraceMeta:
+    """Sidecar metadata: pid -> task identity.
+
+    Trace records carry pids only; names and kinds (rank vs. kernel daemon
+    vs. the tracer daemon) come from this table.  When absent, the analyzer
+    falls back to the node's pid-allocation convention (ranks >= 1000,
+    daemons 100-999, idle 0).
+    """
+
+    def __init__(self, tasks: Optional[Dict[int, TaskInfo]] = None) -> None:
+        self.tasks: Dict[int, TaskInfo] = dict(tasks or {})
+
+    @staticmethod
+    def from_node(node) -> "TraceMeta":
+        tasks = {
+            t.pid: TaskInfo(t.pid, t.name, t.kind) for t in node.tasks.values()
+        }
+        for idle in node.idle_tasks:
+            tasks.setdefault(idle.pid, TaskInfo(idle.pid, idle.name, idle.kind))
+        return TraceMeta(tasks)
+
+    # ------------------------------------------------------------------
+    # Serialization (the sidecar file next to a binary trace)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(
+            {
+                "tasks": [
+                    {"pid": t.pid, "name": t.name, "kind": int(t.kind)}
+                    for t in sorted(self.tasks.values(), key=lambda t: t.pid)
+                ]
+            },
+            indent=2,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "TraceMeta":
+        import json
+
+        data = json.loads(text)
+        tasks = {}
+        for entry in data.get("tasks", []):
+            info = TaskInfo(
+                int(entry["pid"]), str(entry["name"]), TaskKind(int(entry["kind"]))
+            )
+            tasks[info.pid] = info
+        return TraceMeta(tasks)
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w") as fp:
+            fp.write(self.to_json())
+
+    @staticmethod
+    def from_file(path: str) -> "TraceMeta":
+        with open(path) as fp:
+            return TraceMeta.from_json(fp.read())
+
+    # ------------------------------------------------------------------
+    def kind_of(self, pid: int) -> TaskKind:
+        info = self.tasks.get(pid)
+        if info is not None:
+            return info.kind
+        if pid == 0:
+            return TaskKind.IDLE
+        if pid >= 1000:
+            return TaskKind.RANK
+        return TaskKind.KDAEMON
+
+    def name_of(self, pid: int) -> str:
+        info = self.tasks.get(pid)
+        if info is not None:
+            return info.name
+        if pid == 0:
+            return "swapper"
+        return f"pid{pid}"
+
+    def is_application(self, pid: int) -> bool:
+        return self.kind_of(pid) == TaskKind.RANK
+
+    def is_tracer(self, pid: int) -> bool:
+        return self.kind_of(pid) == TaskKind.TRACERD
+
+    def application_pids(self) -> List[int]:
+        return sorted(
+            pid for pid in self.tasks if self.kind_of(pid) == TaskKind.RANK
+        )

@@ -1,0 +1,109 @@
+"""Phase-segmented analysis.
+
+Workloads emit ``marker`` point events at phase changes (the Sequoia models
+mark every fault-rate transition); this module segments a trace at those
+markers and computes per-phase statistics — the quantitative form of the
+paper's Figure 5 reading ("LAMMPS page faults are mainly located at the
+beginning, during initialization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.analysis import NoiseAnalysis
+from repro.core.model import BREAKDOWN_CATEGORIES, NoiseCategory
+from repro.util.stats import DurationStats, describe_durations
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One trace segment between consecutive markers."""
+
+    index: int
+    start: int
+    end: int
+    #: The opening marker's argument (the Sequoia models put the phase's
+    #: fault rate here); -1 for the pre-first-marker segment.
+    tag: int
+
+    @property
+    def span_ns(self) -> int:
+        return self.end - self.start
+
+
+def split_phases(analysis: NoiseAnalysis) -> List[Phase]:
+    """Segment the trace at marker events (deduplicated per timestamp)."""
+    marks = analysis.markers()
+    boundaries: List[tuple] = []
+    seen = set()
+    for time, _pid, arg in marks:
+        if int(time) not in seen:
+            seen.add(int(time))
+            boundaries.append((int(time), int(arg)))
+    boundaries.sort()
+    phases: List[Phase] = []
+    cursor = analysis.start_ts
+    tag = -1
+    index = 0
+    for time, arg in boundaries:
+        if time > cursor:
+            phases.append(Phase(index, cursor, time, tag))
+            index += 1
+        cursor = time
+        tag = arg
+    if analysis.end_ts > cursor:
+        phases.append(Phase(index, cursor, analysis.end_ts, tag))
+    return phases
+
+
+def phase_stats(
+    analysis: NoiseAnalysis,
+    event: Union[int, str],
+    phases: Optional[Sequence[Phase]] = None,
+) -> "List[tuple]":
+    """Per-phase ``(phase, DurationStats)`` rows for one event type.
+
+    Frequencies are per CPU-second *of the phase*, so a fault burst during
+    a short initialization reads as the high rate it locally is.
+    """
+    if phases is None:
+        phases = split_phases(analysis)
+    acts = analysis.select(event=event)
+    out = []
+    for phase in phases:
+        durations = [
+            a.self_ns for a in acts if phase.start <= a.start < phase.end
+        ]
+        stats = describe_durations(
+            durations, span_ns=max(1, phase.span_ns), cpus=analysis.ncpus
+        )
+        out.append((phase, stats))
+    return out
+
+
+def phase_breakdown(
+    analysis: NoiseAnalysis,
+    phases: Optional[Sequence[Phase]] = None,
+) -> "List[tuple]":
+    """Per-phase category totals: how the noise *mix* changes over a run."""
+    if phases is None:
+        phases = split_phases(analysis)
+    out = []
+    for phase in phases:
+        totals: Dict[NoiseCategory, int] = {c: 0 for c in BREAKDOWN_CATEGORIES}
+        for act in analysis.activities:
+            if not act.is_noise:
+                continue
+            overlap = act.overlap(phase.start, phase.end)
+            if overlap <= 0:
+                continue
+            total = act.total_ns if act.total_ns > 0 else 1
+            totals[act.category] = totals.get(act.category, 0) + int(
+                act.self_ns * overlap / total
+            )
+        out.append((phase, totals))
+    return out

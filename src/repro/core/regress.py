@@ -1,0 +1,169 @@
+"""Noise-profile comparison: "did my kernel change help?"
+
+The paper motivates FTQ as giving "quick relative comparisons between
+different versions as developers work on reducing noise" — the quantitative
+methodology can do the same comparison *per event*.  Given two analyses
+(two kernel configurations, two patches, traced vs baseline), this module
+reports which noise sources improved, regressed, appeared or vanished.
+
+Used by the policy ablations and directly useful to a kernel developer
+driving the simulator (or, with real traces in the same format, a machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.core.analysis import NoiseAnalysis
+from repro.util.units import SEC, fmt_ns
+
+
+class Verdict(Enum):
+    IMPROVED = "improved"
+    REGRESSED = "regressed"
+    UNCHANGED = "unchanged"
+    NEW = "new"
+    GONE = "gone"
+
+
+@dataclass(frozen=True)
+class EventDelta:
+    """Per-event change between baseline (a) and candidate (b).
+
+    Budgets are noise nanoseconds per CPU-second, the unit that matters:
+    frequency or duration alone can each move while their product stays put.
+    """
+
+    name: str
+    budget_a: float   # ns of noise per CPU-second in the baseline
+    budget_b: float
+    freq_a: float
+    freq_b: float
+    avg_a: float
+    avg_b: float
+    verdict: Verdict
+
+    @property
+    def budget_delta(self) -> float:
+        return self.budget_b - self.budget_a
+
+    def describe(self) -> str:
+        return (
+            f"{self.name:24s} {self.verdict.value:10s} "
+            f"{self.budget_a:10.0f} -> {self.budget_b:10.0f} ns/cpu-s  "
+            f"(freq {self.freq_a:.1f} -> {self.freq_b:.1f}, "
+            f"avg {self.avg_a:.0f} -> {self.avg_b:.0f} ns)"
+        )
+
+
+@dataclass(frozen=True)
+class ProfileComparison:
+    deltas: List[EventDelta]
+    noise_fraction_a: float
+    noise_fraction_b: float
+
+    @property
+    def total_verdict(self) -> Verdict:
+        if self.noise_fraction_a == 0 and self.noise_fraction_b == 0:
+            return Verdict.UNCHANGED
+        if self.noise_fraction_b < 0.9 * self.noise_fraction_a:
+            return Verdict.IMPROVED
+        if self.noise_fraction_b > 1.1 * self.noise_fraction_a:
+            return Verdict.REGRESSED
+        return Verdict.UNCHANGED
+
+    def regressions(self) -> List[EventDelta]:
+        return [
+            d
+            for d in self.deltas
+            if d.verdict in (Verdict.REGRESSED, Verdict.NEW)
+        ]
+
+    def improvements(self) -> List[EventDelta]:
+        return [
+            d
+            for d in self.deltas
+            if d.verdict in (Verdict.IMPROVED, Verdict.GONE)
+        ]
+
+    def report(self) -> str:
+        lines = [
+            f"total noise: {100 * self.noise_fraction_a:.3f} % -> "
+            f"{100 * self.noise_fraction_b:.3f} %  [{self.total_verdict.value}]",
+            "",
+        ]
+        for delta in sorted(
+            self.deltas, key=lambda d: abs(d.budget_delta), reverse=True
+        ):
+            lines.append(delta.describe())
+        return "\n".join(lines)
+
+
+def compare_profiles(
+    baseline: NoiseAnalysis,
+    candidate: NoiseAnalysis,
+    threshold: float = 0.10,
+) -> ProfileComparison:
+    """Per-event comparison of two noise profiles.
+
+    ``threshold``: relative budget change below which an event counts as
+    unchanged (run-to-run variation eats small deltas; see
+    :mod:`repro.core.sweep` for quantifying that variation).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+
+    def budgets(analysis: NoiseAnalysis) -> Dict[str, tuple]:
+        # Aggregate per-CPU daemon instances (rpciod/0..7 -> rpciod): the
+        # per-instance split is placement noise, not a kernel property.
+        import re
+
+        grouped: Dict[str, List[tuple]] = {}
+        span_cpu_sec = analysis.span_ns / SEC * analysis.ncpus
+        for name, stats in analysis.stats_by_event(noise_only=True).items():
+            canonical = re.sub(r"/\d+$", "", name)
+            grouped.setdefault(canonical, []).append(stats)
+        out = {}
+        for name, rows in grouped.items():
+            total = sum(s.total for s in rows)
+            count = sum(s.count for s in rows)
+            freq = sum(s.freq for s in rows)
+            avg = total / count if count else 0.0
+            out[name] = (total / span_cpu_sec, freq, avg)
+        return out
+
+    rows_a = budgets(baseline)
+    rows_b = budgets(candidate)
+    deltas: List[EventDelta] = []
+    for name in sorted(set(rows_a) | set(rows_b)):
+        budget_a, freq_a, avg_a = rows_a.get(name, (0.0, 0.0, 0.0))
+        budget_b, freq_b, avg_b = rows_b.get(name, (0.0, 0.0, 0.0))
+        if name not in rows_a:
+            verdict = Verdict.NEW
+        elif name not in rows_b:
+            verdict = Verdict.GONE
+        elif budget_b < budget_a * (1 - threshold):
+            verdict = Verdict.IMPROVED
+        elif budget_b > budget_a * (1 + threshold):
+            verdict = Verdict.REGRESSED
+        else:
+            verdict = Verdict.UNCHANGED
+        deltas.append(
+            EventDelta(
+                name=name,
+                budget_a=budget_a,
+                budget_b=budget_b,
+                freq_a=freq_a,
+                freq_b=freq_b,
+                avg_a=avg_a,
+                avg_b=avg_b,
+                verdict=verdict,
+            )
+        )
+    return ProfileComparison(
+        deltas=deltas,
+        noise_fraction_a=baseline.noise_fraction(),
+        noise_fraction_b=candidate.noise_fraction(),
+    )

@@ -1,0 +1,206 @@
+"""Text rendering of paper-style tables and breakdowns.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.model import BREAKDOWN_CATEGORIES, NoiseCategory
+from repro.util.stats import DurationStats
+from repro.util.units import fmt_ns
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, DurationStats],
+    paper_rows: Optional[Mapping[str, Tuple[float, float, int, int]]] = None,
+) -> str:
+    """Render a Table I-VI style table; optionally with paper reference rows.
+
+    Columns: ``freq(ev/sec)  avg(nsec)  max(nsec)  min(nsec)``.
+    """
+    lines = [title, "-" * len(title)]
+    width = max([10] + [len(name) for name in rows])
+    header = (
+        f"{'':{width}s} {'freq(ev/s)':>12s} {'avg(ns)':>12s} "
+        f"{'max(ns)':>14s} {'min(ns)':>10s}"
+    )
+    lines.append(header)
+    for name, stats in rows.items():
+        lines.append(
+            f"{name:{width}s} {stats.freq:12.1f} {stats.avg:12.0f} "
+            f"{stats.max:14d} {stats.min:10d}"
+        )
+        if paper_rows is not None and name in paper_rows:
+            freq, avg, mx, mn = paper_rows[name]
+            lines.append(
+                f"{'  (paper)':{width}s} {freq:12.1f} {avg:12.0f} "
+                f"{mx:14d} {mn:10d}"
+            )
+    return "\n".join(lines)
+
+
+def format_breakdown(
+    title: str,
+    fractions_by_app: Mapping[str, Mapping[NoiseCategory, float]],
+) -> str:
+    """Render a Figure 3 style stacked-breakdown table (rows = apps)."""
+    lines = [title, "-" * len(title)]
+    cats = list(BREAKDOWN_CATEGORIES)
+    header = f"{'':10s} " + " ".join(f"{c.value:>12s}" for c in cats)
+    lines.append(header)
+    for app, fractions in fractions_by_app.items():
+        cells = " ".join(f"{100 * fractions.get(c, 0.0):11.1f}%" for c in cats)
+        lines.append(f"{app:10s} {cells}")
+    return "\n".join(lines)
+
+
+def format_interruptions(
+    interruptions: Iterable, limit: int = 20, t_origin: int = 0
+) -> str:
+    """Render a zoomed synthetic-chart window (Fig. 1d / Fig. 10 style)."""
+    lines = []
+    for i, g in enumerate(interruptions):
+        if i >= limit:
+            lines.append("...")
+            break
+        parts = " + ".join(
+            f"{a.name}[{fmt_ns(a.self_ns)}]"
+            for a in sorted(g.activities, key=lambda a: a.start)
+        )
+        lines.append(
+            f"t={fmt_ns(g.start - t_origin):>12s}  "
+            f"noise={fmt_ns(g.noise_ns):>10s}  {parts}"
+        )
+    return "\n".join(lines)
+
+
+#: One display character per noise category in the ASCII trace view,
+#: matching the paper's colour legend (black ticks, red faults, green
+#: preemptions, blue I/O, orange scheduling).
+_CATEGORY_CHAR = {
+    "periodic": "t",
+    "page fault": "F",
+    "scheduling": "s",
+    "preemption": "P",
+    "io": "n",
+    "service": ".",
+    "tracer": "~",
+    "other": "?",
+}
+
+
+def render_ascii_trace(
+    activities: Sequence,
+    t0: int,
+    t1: int,
+    ncpus: int,
+    width: int = 100,
+) -> str:
+    """A terminal rendition of the paper's execution-trace figures.
+
+    One row per CPU; each column is a slice of ``(t1-t0)/width``; the cell
+    shows the dominant noise category active there (space = pure user
+    computation).  The same view Paraver gives, at character resolution —
+    good enough to *see* Figure 5's fault placement or Figure 7's
+    preemption density from a shell.
+    """
+    if t1 <= t0 or width <= 0:
+        raise ValueError("need t1 > t0 and positive width")
+    cell_ns = (t1 - t0) / width
+    # For each cpu/cell, accumulate ns per category; pick the max.
+    grids = [
+        [dict() for _ in range(width)] for _ in range(ncpus)
+    ]
+    for act in activities:
+        if act.end <= t0 or act.start >= t1 or act.cpu >= ncpus:
+            continue
+        first = max(0, int((act.start - t0) / cell_ns))
+        last = min(width - 1, int((act.end - 1 - t0) / cell_ns))
+        for cell in range(first, last + 1):
+            begin = t0 + cell * cell_ns
+            overlap = min(act.end, begin + cell_ns) - max(act.start, begin)
+            if overlap <= 0:
+                continue
+            bucket = grids[act.cpu][cell]
+            key = act.category.value
+            bucket[key] = bucket.get(key, 0) + overlap
+    lines = []
+    for cpu in range(ncpus):
+        chars = []
+        for bucket in grids[cpu]:
+            if not bucket:
+                chars.append(" ")
+            else:
+                dominant = max(bucket, key=bucket.get)
+                chars.append(_CATEGORY_CHAR.get(dominant, "?"))
+        lines.append(f"cpu{cpu}: |{''.join(chars)}|")
+    legend = "  ".join(f"{c}={name}" for name, c in _CATEGORY_CHAR.items())
+    lines.append(f"legend: {legend}  (space = user computation)")
+    return "\n".join(lines)
+
+
+def full_report(analysis, meta=None) -> str:
+    """One-shot text report: tables, breakdown, imbalance, task states.
+
+    What the CLI ``report`` command prints; also handy in notebooks.
+    """
+    from repro.core.model import TraceMeta
+    from repro.core.timeline import TaskTimeline
+    from repro.util.units import fmt_ns
+
+    meta = meta if meta is not None else getattr(analysis, "meta", TraceMeta())
+    sections: List[str] = []
+    sections.append(
+        format_table(
+            "Per-event statistics (freq per CPU-second, durations ns)",
+            analysis.stats_by_event(noise_only=True),
+        )
+    )
+    sections.append(
+        format_breakdown("Noise breakdown", {"": analysis.breakdown_fractions()})
+    )
+    sections.append(
+        f"total noise: {fmt_ns(analysis.total_noise_ns())} "
+        f"({100 * analysis.noise_fraction():.3f} % of CPU time), "
+        f"imbalance (max/mean per CPU): {analysis.noise_imbalance():.2f}"
+    )
+    per_cpu = analysis.per_cpu_noise_ns()
+    sections.append(
+        "per-CPU noise: "
+        + "  ".join(f"cpu{i}={fmt_ns(int(v))}" for i, v in enumerate(per_cpu))
+    )
+    timeline = TaskTimeline(analysis.records, meta=meta, end_ts=analysis.end_ts)
+    rows = timeline.summary()
+    if rows:
+        lines = [
+            "task states (fraction of observed window):",
+            f"{'task':16s} {'running':>9s} {'ready':>9s} {'blocked':>9s} "
+            f"{'waits':>7s} {'mean wait':>11s}",
+        ]
+        for pid, row in rows.items():
+            lines.append(
+                f"{meta.name_of(pid):16s} {row['running']:9.3f} "
+                f"{row['runnable']:9.3f} {row['blocked']:9.3f} "
+                f"{int(row['wait_episodes']):7d} "
+                f"{fmt_ns(int(row['mean_wait_ns'])):>11s}"
+            )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def format_histogram(hist, width: int = 50, max_rows: int = 30) -> str:
+    """ASCII rendering of a duration histogram (Figures 4/6/8 style)."""
+    lines = []
+    peak = hist.counts.max() if hist.counts.size else 0
+    if peak == 0:
+        return "(empty histogram)"
+    step = max(1, len(hist.counts) // max_rows)
+    for i in range(0, len(hist.counts), step):
+        count = int(hist.counts[i : i + step].sum())
+        bar = "#" * max(0, int(round(width * count / (peak * step))))
+        lines.append(f"{fmt_ns(int(hist.edges[i])):>12s} | {bar} {count}")
+    return "\n".join(lines)

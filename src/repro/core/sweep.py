@@ -1,0 +1,113 @@
+"""Seed sweeps: run-to-run variation of noise statistics.
+
+One seeded run is one sample of a stochastic system.  Before reading
+anything into a 10 % delta between two configurations, a developer needs to
+know the natural spread of the metric — this module runs a workload across
+seeds and summarizes any metric's distribution (mean, std, a normal-theory
+confidence interval).  EXPERIMENTS.md's tolerances were picked with this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.analysis import NoiseAnalysis
+from repro.core.model import NoiseCategory, TraceMeta
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    name: str
+    values: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std(ddof=1)) if len(self.values) > 1 else 0.0
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std/mean); 0 when mean is 0."""
+        return self.std / self.mean if self.mean else 0.0
+
+    def confidence_interval(self, z: float = 1.96) -> "tuple[float, float]":
+        """Normal-approximation CI of the mean (default ~95 %)."""
+        half = z * self.std / math.sqrt(max(1, len(self.values)))
+        return (self.mean - half, self.mean + half)
+
+    def describe(self) -> str:
+        low, high = self.confidence_interval()
+        return (
+            f"{self.name}: {self.mean:.4g} +- {self.std:.3g} "
+            f"(cv {100 * self.cv:.1f} %, 95% CI [{low:.4g}, {high:.4g}], "
+            f"n={len(self.values)})"
+        )
+
+
+class SeedSweep:
+    """Analyses of the same workload under different seeds."""
+
+    def __init__(self, analyses: List[NoiseAnalysis]) -> None:
+        if not analyses:
+            raise ValueError("sweep needs at least one run")
+        self.analyses = analyses
+
+    @staticmethod
+    def run(
+        workload_factory: Callable[[], "object"],
+        duration_ns: int,
+        seeds: Sequence[int],
+        ncpus: int = 8,
+    ) -> "SeedSweep":
+        analyses = []
+        for seed in seeds:
+            workload = workload_factory()
+            node, trace = workload.run_traced(
+                duration_ns, seed=int(seed), ncpus=ncpus
+            )
+            analyses.append(
+                NoiseAnalysis(trace, meta=TraceMeta.from_node(node))
+            )
+        return SeedSweep(analyses)
+
+    # ------------------------------------------------------------------
+    def metric(
+        self, name: str, fn: Callable[[NoiseAnalysis], float]
+    ) -> MetricSummary:
+        """Evaluate any scalar metric across the sweep."""
+        values = np.array([fn(a) for a in self.analyses], dtype=np.float64)
+        return MetricSummary(name, values)
+
+    def stat_metric(
+        self, event: str, field: str = "freq"
+    ) -> MetricSummary:
+        """Spread of one table cell, e.g. ``('page_fault', 'avg')``."""
+        if field not in ("freq", "avg", "max", "min", "total", "count"):
+            raise ValueError(f"unknown stats field: {field!r}")
+        return self.metric(
+            f"{event}.{field}",
+            lambda a: float(getattr(a.stats(event), field)),
+        )
+
+    def breakdown_metric(self, category: NoiseCategory) -> MetricSummary:
+        return self.metric(
+            f"breakdown.{category.value}",
+            lambda a: a.breakdown_fractions().get(category, 0.0),
+        )
+
+    def noise_fraction(self) -> MetricSummary:
+        return self.metric("noise_fraction", lambda a: a.noise_fraction())
+
+    def summary_table(self, events: Sequence[str]) -> str:
+        lines = [self.noise_fraction().describe()]
+        for event in events:
+            lines.append(self.stat_metric(event, "freq").describe())
+            lines.append(self.stat_metric(event, "avg").describe())
+        return "\n".join(lines)

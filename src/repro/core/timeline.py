@@ -1,0 +1,160 @@
+"""Task-state timelines: when was each task running / runnable / blocked.
+
+The noise classification rule ("we do not consider a kernel interruption as
+noise if, when it occurs, a process is blocked waiting for communication")
+rests on knowing each task's scheduler state over time.  This module makes
+that observable a first-class object reconstructed from ``task_state`` and
+``sched_switch`` point events: per-task state intervals, waiting-time
+accounting, and CPU-occupancy summaries — the same data Paraver's state view
+renders.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import TraceMeta
+from repro.simkernel.task import TaskState
+from repro.tracing.events import Ev, decode_task_state
+
+
+@dataclass(frozen=True)
+class StateInterval:
+    """One contiguous interval of a task in one scheduler state."""
+
+    pid: int
+    state: TaskState
+    start: int
+    end: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end - self.start
+
+
+class TaskTimeline:
+    """State history of every task in a trace."""
+
+    def __init__(
+        self,
+        records: np.ndarray,
+        meta: Optional[TraceMeta] = None,
+        end_ts: Optional[int] = None,
+    ) -> None:
+        self.meta = meta if meta is not None else TraceMeta()
+        times = records["time"]
+        events = records["event"]
+        args = records["arg"]
+        if end_ts is None:
+            end_ts = int(times.max()) if len(records) else 0
+        self.end_ts = int(end_ts)
+
+        order = np.argsort(times, kind="stable")
+        open_state: Dict[int, Tuple[int, int]] = {}  # pid -> (state, since)
+        intervals: Dict[int, List[StateInterval]] = {}
+
+        for i in order:
+            if int(events[i]) != Ev.TASK_STATE:
+                continue
+            t = int(times[i])
+            pid, state = decode_task_state(int(args[i]))
+            previous = open_state.get(pid)
+            if previous is not None:
+                prev_state, since = previous
+                if t > since:
+                    intervals.setdefault(pid, []).append(
+                        StateInterval(pid, TaskState(prev_state), since, t)
+                    )
+            open_state[pid] = (state, t)
+
+        for pid, (state, since) in open_state.items():
+            if self.end_ts > since:
+                intervals.setdefault(pid, []).append(
+                    StateInterval(pid, TaskState(state), since, self.end_ts)
+                )
+        self._intervals = intervals
+        self._starts: Dict[int, List[int]] = {
+            pid: [iv.start for iv in ivs] for pid, ivs in intervals.items()
+        }
+
+    # ------------------------------------------------------------------
+    def pids(self) -> List[int]:
+        return sorted(self._intervals)
+
+    def intervals(
+        self, pid: int, state: Optional[TaskState] = None
+    ) -> List[StateInterval]:
+        """All (or one state's) intervals of a task, time-ordered."""
+        out = self._intervals.get(pid, [])
+        if state is None:
+            return list(out)
+        return [iv for iv in out if iv.state == state]
+
+    def state_at(self, pid: int, time_ns: int) -> Optional[TaskState]:
+        """The task's state at an instant (None before its first event)."""
+        starts = self._starts.get(pid)
+        if not starts:
+            return None
+        idx = bisect.bisect_right(starts, time_ns) - 1
+        if idx < 0:
+            return None
+        interval = self._intervals[pid][idx]
+        if interval.start <= time_ns < interval.end:
+            return interval.state
+        # Past the last interval: the last known state persists.
+        if time_ns >= interval.end and interval is self._intervals[pid][-1]:
+            return interval.state
+        return None
+
+    def time_in_state(self, pid: int, state: TaskState) -> int:
+        """Total nanoseconds the task spent in a state."""
+        return sum(iv.duration_ns for iv in self.intervals(pid, state))
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def occupancy(self, pid: int) -> Dict[TaskState, float]:
+        """Fraction of the observed window per state."""
+        total = sum(iv.duration_ns for iv in self._intervals.get(pid, []))
+        if total == 0:
+            return {}
+        out: Dict[TaskState, float] = {}
+        for iv in self._intervals[pid]:
+            out[iv.state] = out.get(iv.state, 0.0) + iv.duration_ns / total
+        return out
+
+    def wait_times(self, pid: int) -> np.ndarray:
+        """Durations of RUNNABLE episodes: how long the task waited for a
+        CPU after being displaced or woken (scheduler-latency view)."""
+        return np.array(
+            [iv.duration_ns for iv in self.intervals(pid, TaskState.RUNNABLE)],
+            dtype=np.int64,
+        )
+
+    def blocked_times(self, pid: int) -> np.ndarray:
+        """Durations of BLOCKED episodes (I/O and communication waits)."""
+        return np.array(
+            [iv.duration_ns for iv in self.intervals(pid, TaskState.BLOCKED)],
+            dtype=np.int64,
+        )
+
+    def summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-application-task digest used by reports."""
+        out: Dict[int, Dict[str, float]] = {}
+        for pid in self.pids():
+            if not self.meta.is_application(pid):
+                continue
+            occ = self.occupancy(pid)
+            waits = self.wait_times(pid)
+            out[pid] = {
+                "running": occ.get(TaskState.RUNNING, 0.0),
+                "runnable": occ.get(TaskState.RUNNABLE, 0.0),
+                "blocked": occ.get(TaskState.BLOCKED, 0.0),
+                "wait_episodes": float(waits.size),
+                "mean_wait_ns": float(waits.mean()) if waits.size else 0.0,
+            }
+        return out

@@ -1,0 +1,143 @@
+"""The paper's "Matlab module" equivalent: numeric data export.
+
+LTTng-noise's second output path is "a data format that can be used as input
+to Matlab", from which the paper derives the synthetic OS noise chart and
+the histograms.  Here the same role is played by:
+
+* :func:`activities_to_csv` — flat per-activity table (one row per
+  reconstructed kernel activity) loadable anywhere;
+* :func:`export_npz` — numpy archive with the activity columns, the
+  synthetic chart series and per-event duration arrays, for programmatic
+  post-processing (the library's own chart/histogram code consumes the
+  in-memory form; this is the at-rest form).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.analysis import NoiseAnalysis
+from repro.core.chart import SyntheticNoiseChart
+from repro.core.model import Activity
+
+CSV_COLUMNS = (
+    "start",
+    "end",
+    "cpu",
+    "pid",
+    "event",
+    "name",
+    "category",
+    "total_ns",
+    "self_ns",
+    "depth",
+    "is_noise",
+    "truncated",
+)
+
+
+def activities_to_csv(
+    path: str, activities: Sequence[Activity]
+) -> int:
+    """Write one CSV row per activity; returns the row count."""
+    with open(path, "w", newline="") as fp:
+        writer = csv.writer(fp)
+        writer.writerow(CSV_COLUMNS)
+        n = 0
+        for act in activities:
+            writer.writerow(
+                (
+                    act.start,
+                    act.end,
+                    act.cpu,
+                    act.pid,
+                    act.event,
+                    act.name,
+                    act.category.value,
+                    act.total_ns,
+                    act.self_ns,
+                    act.depth,
+                    int(act.is_noise),
+                    int(act.truncated),
+                )
+            )
+            n += 1
+    return n
+
+
+def read_activities_csv(path: str) -> List[dict]:
+    """Read back an activities CSV (validation/testing aid)."""
+    with open(path, newline="") as fp:
+        reader = csv.DictReader(fp)
+        rows = []
+        for row in reader:
+            rows.append(
+                {
+                    "start": int(row["start"]),
+                    "end": int(row["end"]),
+                    "cpu": int(row["cpu"]),
+                    "pid": int(row["pid"]),
+                    "event": int(row["event"]),
+                    "name": row["name"],
+                    "category": row["category"],
+                    "total_ns": int(row["total_ns"]),
+                    "self_ns": int(row["self_ns"]),
+                    "depth": int(row["depth"]),
+                    "is_noise": bool(int(row["is_noise"])),
+                    "truncated": bool(int(row["truncated"])),
+                }
+            )
+        return rows
+
+
+def activity_arrays(activities: Sequence[Activity]) -> Dict[str, np.ndarray]:
+    """Columnar numpy view of an activity list."""
+    n = len(activities)
+    out = {
+        "start": np.zeros(n, dtype=np.int64),
+        "end": np.zeros(n, dtype=np.int64),
+        "cpu": np.zeros(n, dtype=np.int16),
+        "pid": np.zeros(n, dtype=np.int32),
+        "event": np.zeros(n, dtype=np.int32),
+        "total_ns": np.zeros(n, dtype=np.int64),
+        "self_ns": np.zeros(n, dtype=np.int64),
+        "depth": np.zeros(n, dtype=np.int16),
+        "is_noise": np.zeros(n, dtype=bool),
+    }
+    for i, act in enumerate(activities):
+        out["start"][i] = act.start
+        out["end"][i] = act.end
+        out["cpu"][i] = act.cpu
+        out["pid"][i] = act.pid
+        out["event"][i] = act.event
+        out["total_ns"][i] = act.total_ns
+        out["self_ns"][i] = act.self_ns
+        out["depth"][i] = act.depth
+        out["is_noise"][i] = act.is_noise
+    return out
+
+
+def export_npz(
+    path: str,
+    analysis: NoiseAnalysis,
+    chart_cpu: Optional[int] = None,
+    events_for_histograms: Sequence[str] = (
+        "page_fault",
+        "run_timer_softirq",
+        "run_rebalance_domains",
+    ),
+) -> None:
+    """Write the full numeric bundle: activities + chart + histogram data."""
+    payload = activity_arrays(analysis.activities)
+    chart = SyntheticNoiseChart(analysis, cpu=chart_cpu)
+    times, noise = chart.series()
+    payload["chart_times"] = times
+    payload["chart_noise_ns"] = noise
+    for name in events_for_histograms:
+        payload[f"durations_{name}"] = analysis.durations(name)
+    payload["span_ns"] = np.array([analysis.span_ns])
+    payload["ncpus"] = np.array([analysis.ncpus])
+    np.savez_compressed(path, **payload)

@@ -1,0 +1,74 @@
+"""Domain rebalancing (``run_rebalance_domains``).
+
+Triggered from the scheduler tick when a CPU's ``next_balance`` deadline
+passes.  The paper distinguishes its *direct* overhead (the softirq's own
+execution time — Figure 6 shows per-application distributions) from its
+*indirect* overhead (cache warm-up after a migration).  Both are modeled:
+the softirq's duration comes from a per-application model, and when it finds
+queued work on a busy CPU while another CPU idles it migrates one activation,
+charging a warm-up penalty.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.simkernel.cpu import CPU, FrameKind
+from repro.simkernel.softirq import SoftirqHandler, Vec
+from repro.tracing.events import Ev
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.node import ComputeNode
+
+
+class LoadBalancer:
+    def __init__(self, node: "ComputeNode") -> None:
+        self.node = node
+        interval = node.config.rebalance_interval_ns
+        self._next_balance: List[int] = [
+            interval + i * (interval // (node.config.ncpus + 1))
+            for i in range(node.config.ncpus)
+        ]
+        self.runs = 0
+
+    def start(self) -> None:
+        node = self.node
+        node.softirq.register(
+            Vec.SCHED,
+            SoftirqHandler(
+                event=Ev.SOFTIRQ_SCHED,
+                duration=lambda: node.config.models.rebalance.sample(
+                    node.rng_for("sched")
+                ),
+                post=self._rebalance,
+            ),
+        )
+
+    def due(self, cpu: CPU, now: int) -> bool:
+        """Checked from the timer tick: is this CPU's balance deadline past?"""
+        if now >= self._next_balance[cpu.index]:
+            interval = self.node.config.rebalance_interval_ns
+            jitter = int(self.node.rng_for("sched").integers(0, interval // 4 + 1))
+            self._next_balance[cpu.index] = now + interval + jitter
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _rebalance(self, cpu: CPU) -> None:
+        """Body of run_rebalance_domains: move work from busy to idle CPUs."""
+        self.runs += 1
+        node = self.node
+        scheduler = node.scheduler
+        busiest = None
+        depth = 0
+        for other in node.cpus:
+            d = scheduler.queue_depth(other.index)
+            if d > depth:
+                busiest, depth = other, d
+        if busiest is None or busiest.index == cpu.index:
+            return
+        # Pull queued work if this CPU is idle (running the idle loop) while
+        # another CPU has activations waiting behind its current context.
+        bottom = cpu.stack[0] if cpu.stack else None
+        if bottom is not None and bottom.kind == FrameKind.IDLE and depth >= 1:
+            scheduler.migrate_queued(busiest.index, cpu.index)

@@ -1,0 +1,96 @@
+"""Daemon activity drivers.
+
+Beyond ``rpciod`` (driven by the NFS path in :mod:`repro.simkernel.network`),
+nodes run other daemons that wake on their own schedule and preempt
+application ranks: the ``eventd`` daemon the paper catches preempting FTQ
+(Figure 1b), the UMT case's Python helper processes, and the lttng-noise
+collection daemon itself.  :class:`DaemonDriver` models any of these as a
+Poisson activation process with a service-time model and a CPU placement
+policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union, TYPE_CHECKING
+
+from repro.simkernel.distributions import DurationModel
+from repro.simkernel.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.node import ComputeNode
+
+
+class DaemonDriver:
+    """Periodically activates a daemon task.
+
+    Parameters
+    ----------
+    rate_per_sec:
+        Mean activations per second (Poisson process); 0 disables.
+    service:
+        Burst duration model.
+    cpu:
+        Fixed CPU index, or ``"random"`` to hit a uniformly random CPU each
+        activation (daemons that are not pinned).
+    via_timer:
+        When True, activations are driven by *software timers*: the wakeup
+        happens inside ``run_timer_softirq`` on the target CPU — exactly how
+        kernel timers wake daemons, and the mechanism behind the paper's
+        Figure 2b chain (tick, softirq, schedule, daemon, schedule).
+    """
+
+    def __init__(
+        self,
+        node: "ComputeNode",
+        task: Task,
+        rate_per_sec: float,
+        service: DurationModel,
+        cpu: Union[int, str] = "random",
+        via_timer: bool = False,
+    ) -> None:
+        if rate_per_sec < 0:
+            raise ValueError("rate must be non-negative")
+        if isinstance(cpu, int) and not 0 <= cpu < node.config.ncpus:
+            raise ValueError("cpu index out of range")
+        self.node = node
+        self.task = task
+        self.rate_per_sec = rate_per_sec
+        self.service = service
+        self.cpu = cpu
+        self.via_timer = via_timer
+        self.activations = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started or self.rate_per_sec <= 0:
+            return
+        self._started = True
+        self._schedule_next()
+
+    def _pick_cpu(self) -> int:
+        if self.cpu == "random":
+            rng = self.node.rng_for("daemons")
+            return int(rng.integers(0, self.node.config.ncpus))
+        return int(self.cpu)
+
+    def _schedule_next(self) -> None:
+        rng = self.node.rng_for("daemons")
+        gap = max(1, int(rng.exponential(1e9 / self.rate_per_sec)))
+        target = self._pick_cpu()
+        if self.via_timer:
+            # Fires inside run_timer_softirq on the target CPU, like a
+            # kernel timer callback calling wake_up_process().
+            self.node.timers.add_timer(
+                gap, lambda: self._activate(target), cpu=target
+            )
+        else:
+            self.node.engine.schedule_after(gap, lambda: self._activate(target))
+
+    def _activate(self, cpu_index: int) -> None:
+        node = self.node
+        rng = node.rng_for("daemons")
+        self.activations += 1
+        node.scheduler.activate_daemon(
+            self.task, cpu_index, self.service.sample(rng)
+        )
+        self._schedule_next()

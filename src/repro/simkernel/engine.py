@@ -1,0 +1,138 @@
+"""Discrete-event simulation core.
+
+A single binary-heap event queue over an integer-nanosecond clock.  Ties are
+broken by insertion order so runs are fully deterministic (DESIGN.md §6).
+Cancellation is lazy: a cancelled event stays in the heap but is skipped when
+popped, which keeps ``cancel`` O(1) — the simulated kernel cancels pending
+completions constantly (every time an interrupt nests above a running
+activity).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.util.rng import RngLike, make_rng
+
+
+class SimEvent:
+    """A scheduled callback.  Returned by :meth:`Engine.schedule` as a handle."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "SimEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<SimEvent t={self.time} seq={self.seq} {state}>"
+
+
+class Engine:
+    """The simulation clock and event queue.
+
+    Parameters
+    ----------
+    seed:
+        Root seed (or Generator).  Subsystems derive their own streams from
+        :attr:`rng` via :func:`repro.util.rng.spawn_rngs`.
+    """
+
+    def __init__(self, seed: RngLike = 0) -> None:
+        self.now: int = 0
+        self.rng = make_rng(seed)
+        self._heap: List[SimEvent] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, at_ns: int, fn: Callable[[], None]) -> SimEvent:
+        """Schedule ``fn`` to run at absolute time ``at_ns``."""
+        if at_ns < self.now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self.now}, at={at_ns})"
+            )
+        ev = SimEvent(at_ns, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(self, delay_ns: int, fn: Callable[[], None]) -> SimEvent:
+        """Schedule ``fn`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.now + delay_ns, fn)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or None if the queue is drained."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next live event.  Returns False when the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self.now = ev.time
+        ev.fn()
+        return True
+
+    def run_until(self, t_end_ns: int) -> None:
+        """Run all events with timestamps <= ``t_end_ns``, then advance to it.
+
+        Events scheduled *during* execution with timestamps inside the window
+        run too, in timestamp order.
+        """
+        if self._running:
+            raise RuntimeError("Engine.run_until is not reentrant")
+        self._running = True
+        try:
+            while True:
+                self._drop_cancelled_head()
+                if not self._heap or self._heap[0].time > t_end_ns:
+                    break
+                ev = heapq.heappop(self._heap)
+                self.now = ev.time
+                ev.fn()
+            if t_end_ns > self.now:
+                self.now = t_end_ns
+        finally:
+            self._running = False
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue entirely.  Returns the number of events executed."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError("event budget exceeded — runaway simulation?")
+        return executed
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

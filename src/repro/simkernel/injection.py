@@ -1,0 +1,156 @@
+"""Kernel-level noise injection.
+
+The complementary methodology from the paper's related work (Ferreira,
+Bridges & Brightwell, SC'08: "Characterizing application sensitivity to OS
+interference using kernel-level noise injection"): instead of *measuring*
+the noise an OS produces, *inject* noise with known parameters and observe
+the application.  Here it serves two purposes:
+
+* **analyzer validation** — the injector keeps exact ground truth (count
+  and nanoseconds injected per CPU), so the offline analysis can be checked
+  against a known-true noise profile end to end
+  (``benchmarks/bench_ext_injection.py``);
+* **sensitivity studies** — the classic high-frequency/short-duration vs
+  low-frequency/long-duration comparison at equal noise budget (the paper's
+  Section II resonance discussion).
+
+Injected events appear in traces as paired ``injected_noise`` activities
+and are classified as noise (category OTHER) under the usual runnable rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, TYPE_CHECKING, Union
+
+from repro.simkernel.cpu import Frame, FrameKind
+from repro.simkernel.distributions import Constant, DurationModel
+from repro.tracing.events import Ev
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.node import ComputeNode
+
+
+@dataclass(frozen=True)
+class InjectionSpec:
+    """One synthetic noise source.
+
+    Parameters
+    ----------
+    pattern:
+        ``"periodic"`` (fixed period, deterministic — resonance studies) or
+        ``"poisson"`` (exponential gaps — background-daemon-like).
+    rate_per_sec:
+        Events per second *per target CPU*.
+    duration:
+        Event duration model (or a plain int of nanoseconds).
+    cpus:
+        Target CPU indices; None = all CPUs.
+    phase_ns:
+        Start offset of the first event (periodic pattern only).
+    tag:
+        Value carried in the trace records' ``arg`` field, letting offline
+        analysis tell multiple injected sources apart (noise cloning).
+    """
+
+    pattern: str
+    rate_per_sec: float
+    duration: Union[DurationModel, int]
+    cpus: Optional[Sequence[int]] = None
+    phase_ns: int = 0
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("periodic", "poisson"):
+            raise ValueError("pattern must be 'periodic' or 'poisson'")
+        if self.rate_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        if self.phase_ns < 0:
+            raise ValueError("phase must be non-negative")
+
+    def duration_model(self) -> DurationModel:
+        if isinstance(self.duration, int):
+            return Constant(self.duration)
+        return self.duration
+
+    @property
+    def period_ns(self) -> int:
+        return max(1, int(1e9 / self.rate_per_sec))
+
+
+class NoiseInjector:
+    """Drives one :class:`InjectionSpec` on a node, keeping ground truth."""
+
+    def __init__(self, node: "ComputeNode", spec: InjectionSpec) -> None:
+        self.node = node
+        self.spec = spec
+        self.targets: List[int] = (
+            list(spec.cpus)
+            if spec.cpus is not None
+            else list(range(node.config.ncpus))
+        )
+        for cpu in self.targets:
+            if not 0 <= cpu < node.config.ncpus:
+                raise ValueError(f"cpu {cpu} out of range")
+        self._model = spec.duration_model()
+        #: Ground truth: events actually injected and their sampled cost.
+        self.injected_count = 0
+        self.injected_ns = 0
+        self._started = False
+
+    def start(self) -> "NoiseInjector":
+        if self._started:
+            raise RuntimeError("injector already started")
+        self._started = True
+        for cpu_index in self.targets:
+            if self.spec.pattern == "periodic":
+                first = self.spec.phase_ns + self.spec.period_ns
+            else:
+                first = self._gap()
+            self.node.engine.schedule_after(
+                max(1, first), self._make_fire(cpu_index)
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def _gap(self) -> int:
+        rng = self.node.rng_for("daemons")
+        return max(1, int(rng.exponential(self.spec.period_ns)))
+
+    def _make_fire(self, cpu_index: int):
+        def fire() -> None:
+            duration = max(1, self._model.sample(self.node.rng_for("daemons")))
+            self.injected_count += 1
+            self.injected_ns += duration
+            cpu = self.node.cpus[cpu_index]
+            cpu.push(
+                Frame(
+                    FrameKind.KACT,
+                    event=Ev.INJECTED,
+                    name="injected_noise",
+                    remaining=duration,
+                    arg=self.spec.tag,
+                )
+            )
+            gap = (
+                self.spec.period_ns
+                if self.spec.pattern == "periodic"
+                else self._gap()
+            )
+            self.node.engine.schedule_after(gap, fire)
+
+        return fire
+
+
+def inject(
+    node: "ComputeNode",
+    rate_per_sec: float,
+    duration: Union[DurationModel, int],
+    pattern: str = "periodic",
+    cpus: Optional[Sequence[int]] = None,
+) -> NoiseInjector:
+    """Convenience: build and start an injector on a (not yet run) node."""
+    spec = InjectionSpec(
+        pattern=pattern, rate_per_sec=rate_per_sec, duration=duration, cpus=cpus
+    )
+    return NoiseInjector(node, spec).start()

@@ -1,0 +1,70 @@
+"""Hardware interrupt delivery.
+
+An interrupt preempts whatever the target CPU is doing — user code, an
+exception handler, even another interrupt — by pushing a top-half frame onto
+the CPU's frame stack.  At top-half exit, softirq processing runs (unless the
+CPU was already inside a softirq, in which case the raised vectors stay
+pending; see :mod:`repro.simkernel.softirq`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
+
+from repro.simkernel.cpu import CPU, Frame, FrameKind
+from repro.simkernel.softirq import Vec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.node import ComputeNode
+
+
+class InterruptController:
+    """Delivers IRQs to CPUs and chains softirq processing at exit."""
+
+    def __init__(self, node: "ComputeNode") -> None:
+        self.node = node
+        #: Total interrupts delivered, for tests and quick stats.
+        self.delivered = 0
+
+    def deliver(
+        self,
+        cpu: CPU,
+        event: int,
+        duration_ns: int,
+        raise_vecs: Sequence[Vec] = (),
+        post: Optional[Callable[[CPU], None]] = None,
+        arg: int = 0,
+    ) -> None:
+        """Deliver one interrupt now.
+
+        Parameters
+        ----------
+        event:
+            Paired trace event for the top half (``Ev.IRQ_TIMER`` / ``IRQ_NET``).
+        duration_ns:
+            Sampled top-half duration.
+        raise_vecs:
+            Softirq vectors the top half raises before returning.
+        post:
+            Extra work at top-half exit, before softirq processing (e.g. the
+            timer tick's scheduler bookkeeping).
+        """
+        self.delivered += 1
+        dispatcher = self.node.softirq
+
+        def on_exit() -> None:
+            for vec in raise_vecs:
+                dispatcher.raise_vec(cpu.index, vec)
+            if post is not None:
+                post(cpu)
+            dispatcher.run(cpu)
+
+        frame = Frame(
+            FrameKind.KACT,
+            event=event,
+            name=f"irq/{event}",
+            remaining=max(1, duration_ns),
+            arg=arg,
+            on_exit=on_exit,
+        )
+        cpu.push(frame)

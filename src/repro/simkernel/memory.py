@@ -1,0 +1,145 @@
+"""Demand-paged virtual memory: the page-fault noise source.
+
+The paper finds page faults can dominate OS noise (82.4 % for AMG, 86.7 % for
+UMT — Figure 3) with frequencies *above* the timer interrupt's (Table I) and
+per-application duration distributions (Figure 4).  Faults here are a
+workload-modulated Poisson process over each rank's user-mode execution:
+while a rank computes, the next fault is exponentially distributed at the
+rank's current fault rate (workloads change the rate per phase — LAMMPS
+faults mostly during initialization, AMG throughout its whole run, Figure 5).
+
+Each fault is either *minor* (page-on-demand / copy-on-write, the bulk of the
+distribution) or *major* (an NFS-backed page read, the rare multi-millisecond
+events behind Table I's extreme maxima).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.simkernel.cpu import CPU, Frame, FrameKind
+from repro.simkernel.distributions import DurationModel
+from repro.simkernel.engine import SimEvent
+from repro.simkernel.task import Task
+from repro.tracing.events import Ev
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.node import ComputeNode
+
+
+@dataclass(frozen=True)
+class PageFaultModel:
+    """Per-application fault cost model.
+
+    ``minor`` carries the distribution's body (and its shape, e.g. AMG's two
+    peaks); a fault is *major* with probability ``major_prob`` and then draws
+    from ``major`` instead.
+    """
+
+    minor: DurationModel
+    major: Optional[DurationModel] = None
+    major_prob: float = 0.0
+
+    def sample(self, rng: np.random.Generator) -> "Tuple[int, bool]":
+        """Return ``(duration_ns, is_major)``."""
+        if self.major is not None and self.major_prob > 0.0:
+            if rng.random() < self.major_prob:
+                return max(1, self.major.sample(rng)), True
+        return max(1, self.minor.sample(rng)), False
+
+
+class _FaultState:
+    __slots__ = ("rate_per_sec", "model", "pending")
+
+    def __init__(self) -> None:
+        self.rate_per_sec = 0.0
+        self.model: Optional[PageFaultModel] = None
+        self.pending: Optional[SimEvent] = None
+
+
+class MemoryManager:
+    """Drives per-rank page-fault processes."""
+
+    def __init__(self, node: "ComputeNode") -> None:
+        self.node = node
+        self._states: Dict[int, _FaultState] = {}
+        self.fault_count = 0
+        self.major_count = 0
+
+    # ------------------------------------------------------------------
+    def register_task(self, task: Task) -> None:
+        self._states[task.pid] = _FaultState()
+
+    def set_fault_rate(self, task: Task, rate_per_sec: float) -> None:
+        """Change a rank's fault rate (workload phase transitions)."""
+        if rate_per_sec < 0:
+            raise ValueError("rate must be non-negative")
+        state = self._states[task.pid]
+        state.rate_per_sec = rate_per_sec
+        # Re-arm if the rank is on-CPU right now.
+        self._cancel(state)
+        if task.cpu is not None:
+            cpu = self.node.cpus[task.cpu]
+            frame = cpu.stack[0] if cpu.stack else None
+            if frame is not None and frame.task is task and frame.running:
+                self._arm(task, state)
+
+    def set_fault_model(self, task: Task, model: PageFaultModel) -> None:
+        self._states[task.pid].model = model
+
+    # Frame hooks -------------------------------------------------------
+    def on_user_resume(self, task: Task) -> None:
+        state = self._states.get(task.pid)
+        if state is not None:
+            self._arm(task, state)
+
+    def on_user_pause(self, task: Task) -> None:
+        state = self._states.get(task.pid)
+        if state is not None:
+            self._cancel(state)
+
+    # ------------------------------------------------------------------
+    def _arm(self, task: Task, state: _FaultState) -> None:
+        self._cancel(state)
+        if state.rate_per_sec <= 0 or state.model is None:
+            return
+        rng = self.node.rng_for("memory")
+        gap_ns = max(1, int(rng.exponential(1e9 / state.rate_per_sec)))
+        state.pending = self.node.engine.schedule_after(
+            gap_ns, self._make_fault(task, state)
+        )
+
+    def _cancel(self, state: _FaultState) -> None:
+        if state.pending is not None:
+            state.pending.cancel()
+            state.pending = None
+
+    def _make_fault(self, task: Task, state: _FaultState):
+        def fault() -> None:
+            state.pending = None
+            if task.cpu is None:
+                return
+            cpu = self.node.cpus[task.cpu]
+            frame = cpu.top
+            # The pending event is cancelled whenever the user frame pauses,
+            # so the rank must be the running top-of-stack here.
+            if frame is None or frame.task is not task or not frame.running:
+                return
+            duration, major = state.model.sample(self.node.rng_for("memory"))
+            self.fault_count += 1
+            if major:
+                self.major_count += 1
+            cpu.push(
+                Frame(
+                    FrameKind.KACT,
+                    event=Ev.EXC_PAGE_FAULT,
+                    name="page_fault",
+                    remaining=duration,
+                    arg=1 if major else 0,
+                )
+            )
+
+        return fault

@@ -1,0 +1,197 @@
+"""Network + NFS I/O path: the "process preemption and I/O" noise sources.
+
+HPC compute nodes in the paper's testbed have no disks: *all* I/O goes to an
+NFS server through the network, via the ``rpciod`` kernel daemon.  The chain
+modeled here follows the paper's Section IV-D exactly:
+
+* a **read** is synchronous: the rank blocks in the syscall; when the server
+  responds, a network interrupt lands on some CPU, ``net_rx_action`` runs
+  there (slow and variable — the receive path must copy data before anyone
+  may touch it, Table III), then ``rpciod`` wakes — *preempting whatever rank
+  runs on that CPU* — completes the RPC and wakes the blocked rank;
+* a **write** is asynchronous: the syscall hands the buffer to the DMA
+  engine, ``net_tx_action`` runs immediately on the issuing CPU (fast and
+  near-constant, Table IV), and the rank continues; a completion interrupt
+  arrives later;
+* depending on load the NIC coalesces interrupts (NAPI): some receive
+  processing happens without a fresh interrupt, and some interrupts carry
+  only acknowledgements — which is why Table II's interrupt frequency is not
+  simply the sum of Tables III and IV.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.simkernel.cpu import CPU
+from repro.simkernel.softirq import SoftirqHandler, Vec
+from repro.simkernel.task import Task
+from repro.tracing.events import Ev
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.node import ComputeNode
+
+#: Syscall numbers used in trace records (arg of Ev.SYSCALL frames).
+NR_READ = 0
+NR_WRITE = 1
+
+
+class NetworkStack:
+    def __init__(self, node: "ComputeNode") -> None:
+        self.node = node
+        #: Per-CPU completions waiting for net_rx_action to process them.
+        self._rx_ready: List[List[Callable[[CPU], None]]] = [
+            [] for _ in range(node.config.ncpus)
+        ]
+        self._next_irq_cpu = 0
+        self.reads = 0
+        self.writes = 0
+        self.rx_irqs = 0
+        self.ack_irqs = 0
+        self.napi_polls = 0
+
+    def start(self) -> None:
+        node = self.node
+        models = node.config.models
+        node.softirq.register(
+            Vec.NET_RX,
+            SoftirqHandler(
+                event=Ev.TASKLET_NET_RX,
+                duration=lambda: models.net_rx.sample(node.rng_for("net")),
+                post=self._rx_post,
+            ),
+        )
+        node.softirq.register(
+            Vec.NET_TX,
+            SoftirqHandler(
+                event=Ev.TASKLET_NET_TX,
+                duration=lambda: models.net_tx.sample(node.rng_for("net")),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # NFS operations (called from program points; the rank's context frame
+    # must be the paused top of its CPU's stack)
+    # ------------------------------------------------------------------
+    def nfs_read(self, task: Task, then: Callable[[], None]) -> None:
+        """Issue a blocking NFS read; ``then`` runs when the rank rewakes."""
+        node = self.node
+        cpu = node.cpus[task.cpu]
+        self.reads += 1
+
+        def syscall_exit() -> None:
+            task.on_scheduled = self._read_resumer(task, then)
+            node.scheduler.block_current(cpu, task)
+            latency = node.config.models.nfs_latency.sample(node.rng_for("net"))
+            node.engine.schedule_after(
+                max(1, latency), self._make_response(task)
+            )
+
+        node.push_syscall(cpu, NR_READ, syscall_exit)
+
+    def nfs_write(self, task: Task, then: Callable[[], None]) -> None:
+        """Issue an async NFS write; ``then`` runs when the syscall returns."""
+        node = self.node
+        cpu = node.cpus[task.cpu]
+        self.writes += 1
+
+        def syscall_exit() -> None:
+            # Hand off to the DMA engine: TX tasklet runs right now on the
+            # issuing CPU (local_bh_enable at syscall exit).
+            node.softirq.raise_vec(cpu.index, Vec.NET_TX)
+            # A transmit-completion / ACK interrupt arrives later.
+            rng = node.rng_for("net")
+            if rng.random() < node.config.tx_completion_irq_prob:
+                delay = node.config.models.nfs_latency.sample(rng)
+                node.engine.schedule_after(max(1, delay), self._make_ack_irq())
+            then()
+            node.softirq.run(cpu)
+
+        node.push_syscall(cpu, NR_WRITE, syscall_exit)
+
+    def inject_ack_irq(self) -> None:
+        """An interrupt carrying only protocol traffic (ACKs, attribute
+        refreshes).  Workload profiles drive these to match Table II."""
+        self._make_ack_irq()()
+
+    # ------------------------------------------------------------------
+    def _read_resumer(
+        self, task: Task, then: Callable[[], None]
+    ) -> Callable[[], None]:
+        def resumed() -> None:
+            task.on_scheduled = None
+            then()
+
+        return resumed
+
+    def _make_response(self, task: Task) -> Callable[[], None]:
+        def response() -> None:
+            node = self.node
+            cpu = self._pick_irq_cpu()
+            self._rx_ready[cpu.index].append(self._make_completion(task))
+            rng = node.rng_for("net")
+            if rng.random() < node.config.napi_poll_prob:
+                # NIC already in polling mode: no fresh interrupt.
+                self.napi_polls += 1
+                node.softirq.raise_vec(cpu.index, Vec.NET_RX)
+                if not node.softirq.kick(cpu):
+                    # CPU busy in kernel: the vector drains at the next
+                    # interrupt/softirq cycle, like a deferred NAPI poll.
+                    pass
+            else:
+                self.rx_irqs += 1
+                node.irq.deliver(
+                    cpu,
+                    Ev.IRQ_NET,
+                    node.config.models.net_irq.sample(rng),
+                    raise_vecs=[Vec.NET_RX],
+                )
+
+        return response
+
+    def _make_completion(self, task: Task) -> Callable[[CPU], None]:
+        def complete_on_cpu(cpu: CPU) -> None:
+            node = self.node
+            rpciod = node.rpciod[cpu.index]
+            service = node.config.models.rpciod_service.sample(node.rng_for("net"))
+            node.scheduler.activate_daemon(
+                rpciod,
+                cpu.index,
+                service,
+                on_done=lambda: node.scheduler.wake_task(task, waker_cpu=cpu),
+            )
+
+        return complete_on_cpu
+
+    def _rx_post(self, cpu: CPU) -> None:
+        """net_rx_action finished on this CPU: hand completions to rpciod."""
+        ready = self._rx_ready[cpu.index]
+        if not ready:
+            return
+        self._rx_ready[cpu.index] = []
+        for complete in ready:
+            complete(cpu)
+
+    def _make_ack_irq(self) -> Callable[[], None]:
+        def ack() -> None:
+            node = self.node
+            cpu = self._pick_irq_cpu()
+            self.ack_irqs += 1
+            node.irq.deliver(
+                cpu,
+                Ev.IRQ_NET,
+                node.config.models.net_irq.sample(node.rng_for("net")),
+            )
+
+        return ack
+
+    def _pick_irq_cpu(self) -> CPU:
+        """Interrupt routing per the configured affinity policy."""
+        node = self.node
+        if node.config.irq_affinity == "cpu0":
+            # Default-affinity behaviour: every device interrupt hits core
+            # 0, concentrating the I/O noise on one rank.
+            return node.cpus[0]
+        cpu = node.cpus[self._next_irq_cpu]
+        self._next_irq_cpu = (self._next_irq_cpu + 1) % node.config.ncpus
+        return cpu

@@ -1,0 +1,359 @@
+"""The scheduler: context switches, daemon preemption, block/wake.
+
+The paper's Figure 2b decomposes one preemption into *five* kernel events:
+timer interrupt, ``run_timer_softirq``, the first half of ``schedule()``
+(switching away from the application), the daemon's execution, and the second
+half of ``schedule()`` (switching back).  This module produces exactly that
+structure: every context switch is one ``schedule()`` activity frame whose
+exit performs the swap and emits ``sched_switch`` / ``task_state`` point
+events; a preemption is therefore two switches with the daemon burst between
+them.
+
+Priorities: daemons preempt application ranks (the paper: "the OS suspends a
+process because there is another higher-priority process", e.g. ``rpciod``);
+ranks never preempt daemons; everything preempts idle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.simkernel.cpu import CPU, Frame, FrameKind
+from repro.simkernel.task import IDLE_PID, Task, TaskKind, TaskState
+from repro.tracing.events import (
+    Ev,
+    encode_switch,
+    encode_task_state,
+    encode_migrate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.node import ComputeNode
+
+
+class DaemonActivation:
+    """One queued daemon burst."""
+
+    __slots__ = ("task", "service_ns", "on_done")
+
+    def __init__(
+        self,
+        task: Task,
+        service_ns: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.task = task
+        self.service_ns = max(1, service_ns)
+        #: Called when the burst finishes (e.g. rpciod completing an RPC
+        #: wakes the rank that issued it).
+        self.on_done = on_done
+
+
+class Scheduler:
+    def __init__(self, node: "ComputeNode") -> None:
+        self.node = node
+        ncpus = node.config.ncpus
+        #: Per-CPU pending daemon activations (FIFO within a priority).
+        self._queues: List[List[DaemonActivation]] = [
+            [] for _ in range(ncpus)
+        ]
+        #: Per-CPU set of runnable (woken or preempted) ranks awaiting CPU.
+        self._runnable: List[List[Task]] = [[] for _ in range(ncpus)]
+        #: The activation currently running on each CPU, if any.
+        self._active: List[Optional[DaemonActivation]] = [None] * ncpus
+        #: When each CPU's current context was switched in (timeslicing).
+        self._switched_in_at: List[int] = [0] * ncpus
+        self.switches = 0
+        self.preemptions = 0
+        self.migrations = 0
+        self.slice_rotations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def start_rank(self, task: Task, frame: Frame) -> None:
+        """Install a rank's initial user frame on its (idle) home CPU."""
+        cpu = self.node.cpus[task.home_cpu]
+        task.saved_frame = frame
+        task.state = TaskState.RUNNABLE
+        self._runnable[cpu.index].append(task)
+        self._kick(cpu)
+
+    def activate_daemon(
+        self,
+        task: Task,
+        cpu_index: int,
+        service_ns: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Queue a daemon burst on a CPU (a daemon wakeup)."""
+        if task.state != TaskState.BLOCKED:
+            # Already queued or running: serialize behind its current CPU so
+            # one task never runs on two CPUs.
+            cpu_index = task.cpu if task.cpu is not None else cpu_index
+        else:
+            task.state = TaskState.RUNNABLE
+            task.wakeups += 1
+            task.cpu = cpu_index
+            cpu = self.node.cpus[cpu_index]
+            cpu.emit_point(Ev.SCHED_WAKEUP, task.pid, task.pid)
+            cpu.emit_point(
+                Ev.TASK_STATE, task.pid, encode_task_state(task.pid, TaskState.RUNNABLE)
+            )
+        self._queues[cpu_index].append(DaemonActivation(task, service_ns, on_done))
+        self._kick(self.node.cpus[cpu_index])
+
+    def wake_task(self, task: Task, waker_cpu: Optional[CPU] = None) -> None:
+        """Wake a blocked rank; it resumes on its home CPU."""
+        if task.state != TaskState.BLOCKED:
+            if task.is_application:
+                # The wake raced with the task's in-flight block (it decided
+                # to sleep but has not context-switched yet): remember it so
+                # the block aborts, as the kernel's wait-queue protocol does.
+                task.wake_pending = True
+            return
+        task.state = TaskState.RUNNABLE
+        task.wakeups += 1
+        cpu = waker_cpu if waker_cpu is not None else self.node.cpus[task.home_cpu]
+        cpu.emit_point(Ev.SCHED_WAKEUP, task.pid, task.pid)
+        cpu.emit_point(
+            Ev.TASK_STATE, task.pid, encode_task_state(task.pid, TaskState.RUNNABLE)
+        )
+        home = self.node.cpus[task.home_cpu]
+        self._runnable[home.index].append(task)
+        self._kick(home)
+
+    def block_current(self, cpu: CPU, task: Task) -> None:
+        """Block the rank owning the CPU's context frame.
+
+        Must be called while the context frame is the (paused) top of stack —
+        i.e. from a program-point callback.  Pushes one ``schedule()`` frame
+        whose exit switches to the next runnable entity.
+        """
+        if cpu.stack[0].task is not task:
+            raise RuntimeError("block_current: task does not own this CPU")
+        self._push_schedule(cpu, blocking=True)
+
+    def scheduler_tick(self, cpu: CPU) -> None:
+        """Per-tick bookkeeping: flag a reschedule if work is waiting or
+        the running rank exhausted its timeslice against an equal peer."""
+        if self._has_better_work(cpu) or self._slice_expired(cpu):
+            cpu.need_resched = True
+
+    # Hook called by the CPU when it drains to its context frame with
+    # need_resched set.
+    def resched(self, cpu: CPU) -> None:
+        cpu.need_resched = False
+        if self._has_better_work(cpu):
+            self._push_schedule(cpu, blocking=False)
+        elif self._slice_expired(cpu):
+            self.slice_rotations += 1
+            self._push_schedule(cpu, blocking=False)
+
+    def _slice_expired(self, cpu: CPU) -> bool:
+        """Round-robin between equal-priority ranks sharing a CPU."""
+        bottom = cpu.stack[0] if cpu.stack else None
+        current = bottom.task if bottom is not None else None
+        if current is None or not current.is_application:
+            return False
+        best = self._best_candidate(cpu)
+        if best is None or best[0] != current.prio:
+            return False
+        ran = self.node.engine.now - self._switched_in_at[cpu.index]
+        return ran >= self.node.config.timeslice_ns
+
+    def daemon_done(self, cpu: CPU, frame: Frame) -> None:
+        """A daemon burst reached the end of its service time."""
+        activation = self._active[cpu.index]
+        self._active[cpu.index] = None
+        if activation is not None and activation.on_done is not None:
+            activation.on_done()
+        queue = self._queues[cpu.index]
+        if queue and queue[0].task is frame.task:
+            best = self._best_candidate(cpu)
+            if best is not None and best[0] >= frame.task.prio:
+                # Next work item belongs to the same daemon and nothing
+                # more urgent waits: keep running in the same context, no
+                # context switch (kernel work queues batch).
+                nxt = queue.pop(0)
+                self._active[cpu.index] = nxt
+                frame.remaining = nxt.service_ns
+                cpu._resume(frame)
+                return
+        self._push_schedule(cpu, blocking=False)
+
+    def migrate_queued(self, src: int, dst: int) -> bool:
+        """Move one queued daemon activation between CPUs (load balancing)."""
+        queue = self._queues[src]
+        if not queue:
+            return False
+        activation = queue.pop(-1)
+        activation.task.cpu = dst
+        activation.task.migrations += 1
+        self.migrations += 1
+        cpu = self.node.cpus[src]
+        cpu.emit_point(
+            Ev.SCHED_MIGRATE,
+            activation.task.pid,
+            encode_migrate(activation.task.pid, dst),
+        )
+        # Indirect cost: the migrated daemon's burst pays a cache warm-up.
+        activation.service_ns += self.node.config.migration_warmup_ns
+        self._queues[dst].append(activation)
+        self._kick(self.node.cpus[dst])
+        return True
+
+    def queue_depth(self, cpu_index: int) -> int:
+        return len(self._queues[cpu_index])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _best_candidate(self, cpu: CPU):
+        """``(prio, kind, index)`` of the most urgent waiting entity.
+
+        Priority-based (lower value wins), FIFO within a priority; daemon
+        activations win ties against rank restores (they arrived through an
+        interrupt and Linux wakes kernel threads eagerly).
+        """
+        best = None
+        for i, activation in enumerate(self._queues[cpu.index]):
+            prio = activation.task.prio
+            if best is None or prio < best[0]:
+                best = (prio, "daemon", i)
+        for i, task in enumerate(self._runnable[cpu.index]):
+            if best is None or task.prio < best[0]:
+                best = (task.prio, "rank", i)
+        return best
+
+    def _has_better_work(self, cpu: CPU) -> bool:
+        best = self._best_candidate(cpu)
+        if best is None:
+            return False
+        bottom = cpu.stack[0] if cpu.stack else None
+        current = bottom.task if bottom is not None else None
+        if current is None or current.kind == TaskKind.IDLE:
+            return True
+        # Strictly-better priority preempts; equals wait their turn.
+        return best[0] < current.prio
+
+    def _kick(self, cpu: CPU) -> None:
+        """Request a reschedule; start it immediately if the CPU is quiescent."""
+        cpu.need_resched = True
+        top = cpu.top
+        if (
+            top is not None
+            and top.running
+            and top.kind in (FrameKind.USER, FrameKind.IDLE, FrameKind.DAEMON)
+            and self._has_better_work(cpu)
+        ):
+            cpu.need_resched = False
+            self._push_schedule(cpu, blocking=False)
+
+    def _push_schedule(self, cpu: CPU, blocking: bool) -> None:
+        node = self.node
+        duration = node.config.models.sched_call.sample(node.rng_for("sched"))
+
+        def tail() -> None:
+            self._switch(cpu, blocking)
+
+        frame = Frame(
+            FrameKind.KACT,
+            event=Ev.SCHED_CALL,
+            name="schedule",
+            remaining=max(1, duration),
+            on_exit=tail,
+        )
+        cpu.push(frame)
+
+    def _pick_next(self, cpu: CPU) -> Tuple[str, object]:
+        best = self._best_candidate(cpu)
+        if best is None:
+            return ("idle", None)
+        _, kind, index = best
+        if kind == "daemon":
+            return ("daemon", self._queues[cpu.index].pop(index))
+        return ("rank", self._runnable[cpu.index].pop(index))
+
+    def _switch(self, cpu: CPU, blocking: bool) -> None:
+        """The tail of schedule(): dispose current context, install next."""
+        node = self.node
+        old = cpu.stack[0]
+        prev_task = old.task
+        prev_pid = prev_task.pid if prev_task is not None else IDLE_PID
+
+        if blocking and prev_task is not None and prev_task.wake_pending:
+            # A wakeup raced with this block: schedule() picks the same
+            # task again (the schedule() cost was still paid).
+            prev_task.wake_pending = False
+            if prev_task.on_scheduled is not None:
+                prev_task.on_scheduled()
+            return
+
+        # --- dispose the outgoing context --------------------------------
+        if prev_task is not None and prev_task.is_application:
+            prev_task.saved_frame = old
+            prev_task.cpu = None
+            if blocking:
+                prev_task.state = TaskState.BLOCKED
+            else:
+                prev_task.state = TaskState.RUNNABLE
+                self._runnable[cpu.index].append(prev_task)
+                self.preemptions += 1
+            cpu.emit_point(
+                Ev.TASK_STATE,
+                prev_pid,
+                encode_task_state(prev_pid, prev_task.state),
+            )
+        elif prev_task is not None and prev_task.is_daemon:
+            prev_task.state = TaskState.BLOCKED
+            prev_task.cpu = None
+            cpu.emit_point(
+                Ev.TASK_STATE,
+                prev_pid,
+                encode_task_state(prev_pid, TaskState.BLOCKED),
+            )
+
+        # --- install the incoming context --------------------------------
+        kind, payload = self._pick_next(cpu)
+        if kind == "daemon":
+            activation = payload  # type: ignore[assignment]
+            task = activation.task
+            self._active[cpu.index] = activation
+            new_frame = Frame(
+                FrameKind.DAEMON,
+                task=task,
+                name=task.name,
+                remaining=activation.service_ns,
+            )
+            task.state = TaskState.RUNNING
+            task.cpu = cpu.index
+        elif kind == "rank":
+            task = payload  # type: ignore[assignment]
+            new_frame = task.saved_frame
+            if new_frame is None:
+                raise RuntimeError(f"runnable rank {task!r} has no saved frame")
+            task.saved_frame = None
+            task.state = TaskState.RUNNING
+            task.cpu = cpu.index
+        else:
+            task = node.idle_tasks[cpu.index]
+            new_frame = Frame(FrameKind.IDLE, task=task, name=task.name)
+
+        cpu.swap_bottom(new_frame)
+        self.switches += 1
+        self._switched_in_at[cpu.index] = node.engine.now
+        next_pid = task.pid
+        cpu.emit_point(
+            Ev.SCHED_SWITCH, next_pid, encode_switch(prev_pid, next_pid)
+        )
+        if task.is_application or task.is_daemon:
+            cpu.emit_point(
+                Ev.TASK_STATE,
+                next_pid,
+                encode_task_state(next_pid, TaskState.RUNNING),
+            )
+        if kind == "rank" and task.on_scheduled is not None:
+            # The task's frame is installed now; continuations may safely
+            # set a new burst and resume it.
+            task.on_scheduled()

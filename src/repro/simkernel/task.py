@@ -1,0 +1,121 @@
+"""Tasks: application ranks, kernel daemons, user daemons, idle.
+
+The noise taxonomy in the paper depends on *who* was running and *who*
+interrupted: kernel activities are noise only while an application process is
+runnable, and daemon executions that displace a runnable rank count as
+"process preemption" noise.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+
+class TaskKind(IntEnum):
+    """What a task is, for scheduling priority and noise attribution."""
+
+    IDLE = 0       # the per-CPU idle loop ("swapper")
+    RANK = 1       # an application (MPI) process
+    KDAEMON = 2    # kernel daemon, e.g. rpciod
+    UDAEMON = 3    # user daemon, e.g. eventd
+    TRACERD = 4    # the lttng-noise collection daemon itself
+
+
+class TaskState(IntEnum):
+    """Scheduler-visible task states (traced via TASK_STATE point events)."""
+
+    RUNNABLE = 1   # wants the CPU but is not on it (preempted / just woken)
+    RUNNING = 2    # currently on a CPU
+    BLOCKED = 3    # waiting (I/O, MPI communication, daemon idle)
+    EXITED = 4
+
+
+#: The idle task's pid, like Linux's swapper.
+IDLE_PID = 0
+
+
+class Task:
+    """A schedulable entity on the simulated node."""
+
+    __slots__ = (
+        "pid",
+        "name",
+        "kind",
+        "prio",
+        "state",
+        "home_cpu",
+        "cpu",
+        "saved_frame",
+        "wake_pending",
+        "pending_warmup_ns",
+        "total_cpu_ns",
+        "wakeups",
+        "migrations",
+        "on_scheduled",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        kind: TaskKind,
+        prio: int,
+        home_cpu: int,
+    ) -> None:
+        if pid < 0:
+            raise ValueError("pid must be non-negative")
+        self.pid = pid
+        self.name = name
+        self.kind = kind
+        #: Lower value = higher priority (daemons preempt ranks).
+        self.prio = prio
+        self.state = TaskState.BLOCKED
+        #: CPU the task is pinned to / prefers (ranks are pinned, one per core).
+        self.home_cpu = home_cpu
+        #: CPU the task currently occupies, or None.
+        self.cpu: Optional[int] = None
+        #: The user frame saved while the task is off-CPU (blocked/preempted
+        #: across a context switch); restored on wakeup.
+        self.saved_frame = None
+        #: A wakeup arrived while the task was *entering* a block (between
+        #: deciding to sleep and the context switch).  Like Linux's
+        #: wait-queue protocol, the pending wake makes schedule() pick the
+        #: same task again instead of switching away.
+        self.wake_pending = False
+        #: Indirect migration cost: extra nanoseconds added to the next
+        #: compute burst to model cache warm-up after a migration.
+        self.pending_warmup_ns = 0
+        self.total_cpu_ns = 0
+        self.wakeups = 0
+        self.migrations = 0
+        #: Optional callback fired when the task is put back on a CPU.
+        self.on_scheduled = None
+
+    @property
+    def is_application(self) -> bool:
+        """True for application processes (the tasks whose noise we measure)."""
+        return self.kind == TaskKind.RANK
+
+    @property
+    def is_daemon(self) -> bool:
+        return self.kind in (TaskKind.KDAEMON, TaskKind.UDAEMON, TaskKind.TRACERD)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Task {self.pid} {self.name!r} {self.kind.name} "
+            f"{self.state.name} cpu={self.cpu}>"
+        )
+
+
+def make_idle_task(cpu_index: int) -> Task:
+    """The per-CPU idle loop task (pid 0, like Linux's swapper)."""
+    task = Task(
+        pid=IDLE_PID,
+        name=f"swapper/{cpu_index}",
+        kind=TaskKind.IDLE,
+        prio=255,
+        home_cpu=cpu_index,
+    )
+    task.state = TaskState.RUNNING
+    return task

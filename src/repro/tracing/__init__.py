@@ -1,0 +1,25 @@
+"""LTTng-like tracing substrate: tracepoints, ring buffers, binary codec."""
+
+from repro.tracing.events import (
+    Ev,
+    Flag,
+    EVENT_NAMES,
+    RECORD_DTYPE,
+    ListSink,
+    NullSink,
+    TraceSink,
+    event_name,
+    is_paired,
+)
+
+__all__ = [
+    "Ev",
+    "Flag",
+    "EVENT_NAMES",
+    "RECORD_DTYPE",
+    "ListSink",
+    "NullSink",
+    "TraceSink",
+    "event_name",
+    "is_paired",
+]

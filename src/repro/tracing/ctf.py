@@ -1,0 +1,221 @@
+"""Binary trace format (CTF-flavoured).
+
+A trace is a *trace header* followed by a stream of *packets*; each packet is
+one sub-buffer: a packet header plus densely packed 24-byte records.  The
+layout is deliberately close in spirit to LTTng's CTF output (per-CPU packet
+streams, packet-level lost-event counters, ns timestamps) while staying
+simple enough to decode in bulk with numpy.
+
+Packets may be zlib-compressed (flag bit 0).  The paper's Section III-B
+suggests "data-compression techniques at run-time to reduce the data-size"
+for cluster-scale tracing; kernel event streams are highly repetitive and
+compress ~4-6x (see ``benchmarks/bench_ext_cluster.py``).
+
+Layout (all little-endian)::
+
+    trace header:  magic u32 ('LTNZ'), version u16, ncpus u16,
+                   start_ts u64, end_ts u64, reserved u64
+    packet:        magic u32 ('LPKT'), cpu u16, flags u16,
+                   n_records u32, lost_before u32, payload_bytes u32,
+                   begin_ts u64, end_ts u64,
+                   then payload_bytes bytes (records, possibly compressed)
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import BinaryIO, List, Union
+
+import numpy as np
+
+from repro.tracing.events import RECORD_DTYPE, RECORD_SIZE
+from repro.tracing.ringbuffer import SubBuffer
+
+TRACE_MAGIC = 0x4C544E5A  # 'LTNZ'
+PACKET_MAGIC = 0x4C504B54  # 'LPKT'
+VERSION = 2
+
+#: Packet flag: payload is zlib-compressed.
+FLAG_COMPRESSED = 0x0001
+
+_TRACE_HEADER = struct.Struct("<IHHQQQ")
+_PACKET_HEADER = struct.Struct("<IHHIIIQQ")
+
+
+class TraceFormatError(ValueError):
+    """Raised on malformed trace bytes."""
+
+
+@dataclass
+class Packet:
+    """One decoded packet (sub-buffer) of trace records."""
+
+    cpu: int
+    n_records: int
+    lost_before: int
+    begin_ts: int
+    end_ts: int
+    payload: bytes  # always uncompressed in memory
+
+    def records(self) -> np.ndarray:
+        """Decode the payload into a structured array (zero-copy view)."""
+        return np.frombuffer(self.payload, dtype=RECORD_DTYPE)
+
+
+@dataclass
+class Trace:
+    """A complete decoded trace."""
+
+    ncpus: int
+    start_ts: int
+    end_ts: int
+    packets: List[Packet] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def records_lost(self) -> int:
+        return sum(p.lost_before for p in self.packets)
+
+    @property
+    def span_ns(self) -> int:
+        return self.end_ts - self.start_ts
+
+    def records(self) -> np.ndarray:
+        """All records merged across CPUs, stably sorted by timestamp."""
+        if not self.packets:
+            return np.empty(0, dtype=RECORD_DTYPE)
+        parts = [p.records() for p in self.packets]
+        merged = np.concatenate(parts)
+        order = np.argsort(merged["time"], kind="stable")
+        return merged[order]
+
+    def cpu_records(self, cpu: int) -> np.ndarray:
+        """One CPU's records in timestamp order."""
+        parts = [p.records() for p in self.packets if p.cpu == cpu]
+        if not parts:
+            return np.empty(0, dtype=RECORD_DTYPE)
+        merged = np.concatenate(parts)
+        order = np.argsort(merged["time"], kind="stable")
+        return merged[order]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self, compress: bool = False) -> bytes:
+        out = io.BytesIO()
+        self.write(out, compress=compress)
+        return out.getvalue()
+
+    def write(self, fp: BinaryIO, compress: bool = False) -> None:
+        fp.write(
+            _TRACE_HEADER.pack(
+                TRACE_MAGIC, VERSION, self.ncpus, self.start_ts, self.end_ts, 0
+            )
+        )
+        for p in self.packets:
+            if len(p.payload) != p.n_records * RECORD_SIZE:
+                raise TraceFormatError(
+                    f"packet payload size mismatch on cpu {p.cpu}"
+                )
+            flags = 0
+            payload = p.payload
+            if compress and payload:
+                compressed = zlib.compress(payload, level=6)
+                if len(compressed) < len(payload):
+                    flags |= FLAG_COMPRESSED
+                    payload = compressed
+            fp.write(
+                _PACKET_HEADER.pack(
+                    PACKET_MAGIC,
+                    p.cpu,
+                    flags,
+                    p.n_records,
+                    p.lost_before,
+                    len(payload),
+                    p.begin_ts,
+                    p.end_ts,
+                )
+            )
+            fp.write(payload)
+
+    def to_file(self, path: str, compress: bool = False) -> None:
+        with open(path, "wb") as fp:
+            self.write(fp, compress=compress)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_bytes(data: Union[bytes, bytearray]) -> "Trace":
+        return Trace.read(io.BytesIO(bytes(data)))
+
+    @staticmethod
+    def from_file(path: str) -> "Trace":
+        with open(path, "rb") as fp:
+            return Trace.read(fp)
+
+    @staticmethod
+    def read(fp: BinaryIO) -> "Trace":
+        header = fp.read(_TRACE_HEADER.size)
+        if len(header) < _TRACE_HEADER.size:
+            raise TraceFormatError("truncated trace header")
+        magic, version, ncpus, start_ts, end_ts, _ = _TRACE_HEADER.unpack(header)
+        if magic != TRACE_MAGIC:
+            raise TraceFormatError(f"bad trace magic: {magic:#x}")
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported trace version: {version}")
+        trace = Trace(ncpus=ncpus, start_ts=start_ts, end_ts=end_ts)
+        while True:
+            phead = fp.read(_PACKET_HEADER.size)
+            if not phead:
+                break
+            if len(phead) < _PACKET_HEADER.size:
+                raise TraceFormatError("truncated packet header")
+            (
+                pmagic,
+                cpu,
+                flags,
+                n_records,
+                lost,
+                payload_bytes,
+                begin_ts,
+                pend_ts,
+            ) = _PACKET_HEADER.unpack(phead)
+            if pmagic != PACKET_MAGIC:
+                raise TraceFormatError(f"bad packet magic: {pmagic:#x}")
+            payload = fp.read(payload_bytes)
+            if len(payload) < payload_bytes:
+                raise TraceFormatError("truncated packet payload")
+            if flags & FLAG_COMPRESSED:
+                try:
+                    payload = zlib.decompress(payload)
+                except zlib.error as exc:
+                    raise TraceFormatError(f"corrupt compressed packet: {exc}")
+            if len(payload) != n_records * RECORD_SIZE:
+                raise TraceFormatError(
+                    f"packet payload size mismatch on cpu {cpu}"
+                )
+            trace.packets.append(
+                Packet(
+                    cpu=cpu,
+                    n_records=n_records,
+                    lost_before=lost,
+                    begin_ts=begin_ts,
+                    end_ts=pend_ts,
+                    payload=payload,
+                )
+            )
+        return trace
+
+
+def packet_from_subbuffer(cpu: int, sb: SubBuffer) -> Packet:
+    """Convert a consumed ring-buffer sub-buffer into a trace packet."""
+    return Packet(
+        cpu=cpu,
+        n_records=sb.n_records,
+        lost_before=sb.lost_before,
+        begin_ts=sb.begin_ts,
+        end_ts=sb.end_ts,
+        payload=bytes(sb.data),
+    )

@@ -1,0 +1,37 @@
+"""Deterministic random-number handling.
+
+Every simulation object draws from a :class:`numpy.random.Generator` derived
+from a single user-provided seed, so identical seeds give bit-identical
+traces (DESIGN.md section 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a Generator from a seed, an existing Generator, or fresh entropy."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, n: int) -> "List[np.random.Generator]":
+    """Derive ``n`` independent child generators deterministically.
+
+    Children are independent streams: drawing from one never perturbs the
+    others, which keeps per-subsystem behaviour stable when unrelated
+    subsystems are reconfigured.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    if isinstance(seed, np.random.Generator):
+        # Derive from the generator's bit stream to stay deterministic.
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return [np.random.default_rng(s) for s in root.spawn(n)]

@@ -1,0 +1,82 @@
+"""Time units and formatting.
+
+The whole library works in integer nanoseconds, like the kernel and like
+LTTng timestamps.  These helpers convert to and from human-readable forms
+for reports and configuration.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: One nanosecond (the base unit).
+NSEC = 1
+#: Nanoseconds per microsecond.
+USEC = 1_000
+#: Nanoseconds per millisecond.
+MSEC = 1_000_000
+#: Nanoseconds per second.
+SEC = 1_000_000_000
+
+_SUFFIXES = (
+    (SEC, "s"),
+    (MSEC, "ms"),
+    (USEC, "us"),
+    (NSEC, "ns"),
+)
+
+_DURATION_RE = re.compile(
+    r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(ns|us|µs|μs|ms|s)\s*$"
+)
+
+_UNIT_NS = {
+    "ns": NSEC,
+    "us": USEC,
+    "µs": USEC,  # micro sign
+    "μs": USEC,  # greek mu
+    "ms": MSEC,
+    "s": SEC,
+}
+
+
+def fmt_ns(ns: int, precision: int = 3) -> str:
+    """Render a nanosecond duration with the most natural unit.
+
+    >>> fmt_ns(2178)
+    '2.178 us'
+    >>> fmt_ns(250)
+    '250 ns'
+    """
+    ns = int(ns)
+    sign = "-" if ns < 0 else ""
+    mag = abs(ns)
+    for scale, suffix in _SUFFIXES:
+        if mag >= scale:
+            if scale == NSEC:
+                return f"{sign}{mag} ns"
+            value = f"{mag / scale:.{precision}f}".rstrip("0").rstrip(".")
+            return f"{sign}{value} {suffix}"
+    return "0 ns"
+
+
+def parse_duration(text: "str | int | float") -> int:
+    """Parse ``"10ms"``-style strings (or raw numbers) into nanoseconds.
+
+    Raw numbers are interpreted as nanoseconds.
+
+    >>> parse_duration("1.5us")
+    1500
+    >>> parse_duration(250)
+    250
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    stripped = text.strip()
+    if stripped and stripped.replace(".", "", 1).isdigit():
+        # Bare numbers are nanoseconds.
+        return int(round(float(stripped)))
+    m = _DURATION_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse duration: {text!r}")
+    value, unit = m.groups()
+    return int(round(float(value) * _UNIT_NS[unit]))

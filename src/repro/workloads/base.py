@@ -1,0 +1,92 @@
+"""Workload plumbing shared by FTQ and the Sequoia models.
+
+A :class:`Workload` knows how to build a configured node (per-application
+activity models), install its ranks and daemons, and run it for a given
+duration.  Everything a workload does goes through the node's public
+continuation APIs; workloads never reach into kernel internals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.simkernel.node import ComputeNode
+from repro.simkernel.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tracing.tracer import Tracer
+
+
+class IoChatter:
+    """Background protocol traffic: extra network interrupts.
+
+    NFS over TCP generates interrupts that carry no receive payload for the
+    application (ACKs, attribute cache refreshes).  Table II's interrupt
+    frequency exceeds the sum of Tables III/IV because of these; the profile
+    supplies the per-CPU rate and this driver injects them node-wide.
+    """
+
+    def __init__(self, node: ComputeNode, rate_per_cpu_sec: float) -> None:
+        if rate_per_cpu_sec < 0:
+            raise ValueError("rate must be non-negative")
+        self.node = node
+        self.rate_node = rate_per_cpu_sec * node.config.ncpus
+        self.injected = 0
+
+    def start(self) -> None:
+        if self.rate_node > 0:
+            self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        rng = self.node.rng_for("net")
+        gap = max(1, int(rng.exponential(1e9 / self.rate_node)))
+        self.node.engine.schedule_after(gap, self._inject)
+
+    def _inject(self) -> None:
+        self.injected += 1
+        self.node.net.inject_ack_irq()
+        self._schedule_next()
+
+
+class Workload:
+    """Base class: build node, install ranks, run."""
+
+    name: str = "workload"
+
+    def build_node(self, seed: int = 0, ncpus: int = 8) -> ComputeNode:
+        """Create a node configured for this workload (not yet installed)."""
+        raise NotImplementedError
+
+    def install(self, node: ComputeNode) -> List[Task]:
+        """Create ranks/daemons on the node; returns the application ranks."""
+        raise NotImplementedError
+
+    def run_traced(
+        self,
+        duration_ns: int,
+        seed: int = 0,
+        ncpus: int = 8,
+        record_overhead_ns: Optional[int] = None,
+    ):
+        """Convenience: build, install, trace, run; returns (node, trace).
+
+        This is the one-call path used by examples and benchmarks.
+        """
+        from repro.tracing.tracer import Tracer
+
+        node = self.build_node(seed=seed, ncpus=ncpus)
+        kwargs = {}
+        if record_overhead_ns is not None:
+            kwargs["record_overhead_ns"] = record_overhead_ns
+        tracer = Tracer(node, **kwargs)
+        tracer.attach()
+        self.install(node)
+        node.run(duration_ns)
+        return node, tracer.finish()
+
+    def run_untraced(self, duration_ns: int, seed: int = 0, ncpus: int = 8):
+        """Run without any tracer attached (for overhead comparisons)."""
+        node = self.build_node(seed=seed, ncpus=ncpus)
+        self.install(node)
+        node.run(duration_ns)
+        return node

@@ -1,0 +1,79 @@
+"""FTQ for the *host* machine: measure real OS noise where this runs.
+
+This is the classic micro-benchmark, implemented directly: per quantum of
+wall time, count completed basic operations; missing operations against the
+best quantum estimate the noise.  It exists so users can compare the
+simulated node's FTQ chart with their actual machine (the examples use it);
+tests avoid it because wall-clock behaviour is not reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HostFtqResult:
+    quantum_ns: int
+    counts: np.ndarray       # basic ops completed per quantum
+    op_ns_estimate: float    # estimated cost of one basic op
+    start_ns: int
+
+    @property
+    def n_max(self) -> int:
+        return int(self.counts.max()) if self.counts.size else 0
+
+    def noise_ns(self) -> np.ndarray:
+        """Indirect noise estimate per quantum: missing ops x op cost."""
+        return (self.n_max - self.counts) * self.op_ns_estimate
+
+    def noise_fraction(self) -> float:
+        if self.counts.size == 0 or self.n_max == 0:
+            return 0.0
+        return float(self.noise_ns().sum() / (self.counts.size * self.quantum_ns))
+
+
+def _basic_op(x: int = 0) -> int:
+    # A small fixed amount of integer work; kept tiny so quanta resolve well.
+    for i in range(50):
+        x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+    return x
+
+
+def run_host_ftq(
+    duration_s: float = 2.0, quantum_ms: float = 1.0
+) -> HostFtqResult:
+    """Run FTQ on this machine.  Wall-clock; NOT deterministic."""
+    if duration_s <= 0 or quantum_ms <= 0:
+        raise ValueError("duration and quantum must be positive")
+    quantum_ns = int(quantum_ms * 1e6)
+    counts: List[int] = []
+    sink = 0
+    start = time.perf_counter_ns()
+    end = start + int(duration_s * 1e9)
+    quantum_end = start + quantum_ns
+    n = 0
+    ops_total = 0
+    t = start
+    while t < end:
+        sink = _basic_op(sink)
+        n += 1
+        ops_total += 1
+        t = time.perf_counter_ns()
+        if t >= quantum_end:
+            counts.append(n)
+            n = 0
+            quantum_end += quantum_ns
+    arr = np.array(counts, dtype=np.int64)
+    total_ns = t - start
+    op_ns = total_ns / ops_total if ops_total else 0.0
+    return HostFtqResult(
+        quantum_ns=quantum_ns,
+        counts=arr,
+        op_ns_estimate=float(op_ns),
+        start_ns=start,
+    )

@@ -1,0 +1,387 @@
+"""Per-application calibration profiles.
+
+Every number here is traceable to the paper: Tables I-VI give per-activity
+``(freq, avg, max, min)`` rows per application; Figure 3 gives the
+five-category noise breakdown the remaining free parameters (daemon burst
+budgets) are solved from; Figures 4-8 give distribution shapes (AMG's
+bimodal page faults, IRS's compact vs UMT's wide rebalance, the
+``run_timer_softirq`` long tail).  See DESIGN.md §5 for the calibration
+derivation.
+
+The profile is *input* to the simulation (service-time models + workload
+rates); the reproduction claim is that the analyzer's *output* recovers the
+tables from the recorded trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.simkernel.config import ActivityModels, NodeConfig
+from repro.simkernel.distributions import (
+    Bimodal,
+    DurationModel,
+    ShiftedLogNormal,
+    from_stats,
+)
+from repro.simkernel.memory import PageFaultModel
+from repro.util.units import MSEC
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One (freq, avg, max, min) row as the paper tabulates them."""
+
+    freq: float      # events per CPU-second
+    avg: float       # ns
+    max: int         # ns
+    min: int         # ns
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """A page-fault-rate phase: [begin, end) as fractions of the run."""
+
+    begin: float
+    end: float
+    fault_rate: float  # faults per second of rank user time
+
+
+@dataclass(frozen=True)
+class SequoiaProfile:
+    """Everything needed to instantiate one application's node + workload."""
+
+    name: str
+    # Paper table rows (per-CPU frequencies).
+    page_fault: TableRow
+    net_irq: TableRow
+    net_rx: TableRow
+    net_tx: TableRow
+    timer_irq: TableRow
+    timer_softirq: TableRow
+    # Workload behaviour.
+    phases: Tuple[PhaseSpec, ...]
+    burst_mean_ns: int
+    barrier_interval_ns: int
+    read_rate: float           # blocking NFS reads per rank-second
+    write_rate: float          # async NFS writes per rank-second
+    ack_rate: float            # extra protocol interrupts per CPU-second
+    napi_poll_prob: float
+    # Daemon calibration (Fig. 3 budgets).
+    rpciod_service: DurationModel
+    python_daemons: int = 0
+    python_rate: float = 0.0   # activations/sec, node-wide, per daemon
+    python_service: Optional[DurationModel] = None
+    # Distribution shapes.
+    fault_model: Optional[PageFaultModel] = None
+    rebalance: Optional[DurationModel] = None
+    timer_softirq_sigma: float = 1.0
+    timer_irq_sigma: float = 0.7
+
+    # ------------------------------------------------------------------
+    def activity_models(self) -> ActivityModels:
+        """Build the node's per-activity duration models from the rows."""
+        return ActivityModels(
+            timer_irq=from_stats(
+                self.timer_irq.min,
+                self.timer_irq.avg,
+                self.timer_irq.max,
+                tail_weight=2e-3,
+                sigma=self.timer_irq_sigma,
+            ),
+            timer_softirq=from_stats(
+                self.timer_softirq.min,
+                self.timer_softirq.avg,
+                self.timer_softirq.max,
+                tail_weight=2e-3,
+                sigma=self.timer_softirq_sigma,
+            ),
+            rcu=from_stats(100, 260, 8_000, sigma=0.5),
+            rebalance=(
+                self.rebalance
+                if self.rebalance is not None
+                else from_stats(600, 2_000, 30_000, sigma=0.5)
+            ),
+            sched_call=from_stats(150, 290, 2_500, sigma=0.35),
+            syscall=from_stats(180, 650, 25_000, sigma=0.5),
+            page_fault=self.fault_model_or_default(),
+            net_irq=from_stats(
+                self.net_irq.min,
+                self.net_irq.avg,
+                self.net_irq.max,
+                tail_weight=1.5e-3,
+                sigma=0.5,
+            ),
+            net_rx=from_stats(
+                self.net_rx.min,
+                self.net_rx.avg,
+                self.net_rx.max,
+                tail_weight=2e-3,
+                sigma=0.8,
+            ),
+            net_tx=from_stats(
+                self.net_tx.min,
+                self.net_tx.avg,
+                self.net_tx.max,
+                tail_weight=2e-3,
+                sigma=0.45,
+            ),
+            rpciod_service=self.rpciod_service,
+            nfs_latency=from_stats(80_000, 350_000, 5 * MSEC, sigma=0.7),
+        )
+
+    def fault_model_or_default(self) -> PageFaultModel:
+        if self.fault_model is not None:
+            return self.fault_model
+        row = self.page_fault
+        # Generic shape: lognormal body + rare major (I/O-backed) faults.
+        major_mean = min(max(20 * row.avg, 50_000.0), row.max * 0.4)
+        return PageFaultModel(
+            minor=from_stats(row.min, row.avg * 0.93, min(row.max, 60_000)),
+            major=from_stats(
+                int(major_mean / 4), major_mean, row.max, tail_weight=5e-3
+            ),
+            major_prob=0.0025,
+        )
+
+    def node_config(self, seed: int = 0, ncpus: int = 8) -> NodeConfig:
+        return NodeConfig(
+            ncpus=ncpus,
+            hz=100,
+            seed=seed,
+            models=self.activity_models(),
+            napi_poll_prob=self.napi_poll_prob,
+            tx_completion_irq_prob=0.5,
+        )
+
+    def mean_fault_rate(self) -> float:
+        """Run-averaged fault rate implied by the phase plan."""
+        return sum(p.fault_rate * (p.end - p.begin) for p in self.phases)
+
+
+def _bimodal_faults(
+    min_ns: int,
+    peak1_ns: float,
+    peak2_ns: float,
+    second_weight: float,
+    major_mean: float,
+    major_max: int,
+    major_prob: float,
+) -> PageFaultModel:
+    """AMG-style two-peak fault body (Fig. 4a) plus a major-fault tail."""
+    from repro.simkernel.distributions import Mixture, Uniform
+
+    # Tight component spreads keep the two modes visually distinct, as in
+    # the paper's histogram.
+    first = ShiftedLogNormal.from_mean(min_ns, peak1_ns, sigma=0.16)
+    second = ShiftedLogNormal.from_mean(min_ns, peak2_ns, sigma=0.18)
+    body = Bimodal(first, second, second_weight)
+    # Fast-path floor so finite runs exhibit near-`min` samples (Table I).
+    with_floor = Mixture(
+        components=(body, Uniform(min_ns, 2 * min_ns)), weights=(0.98, 0.02)
+    )
+    return PageFaultModel(
+        minor=with_floor,
+        major=from_stats(int(major_mean / 4), major_mean, major_max, tail_weight=5e-3),
+        major_prob=major_prob,
+    )
+
+
+# ----------------------------------------------------------------------
+# The five Sequoia applications (Tables I-VI; Figure 3 for daemon budgets)
+# ----------------------------------------------------------------------
+
+AMG = SequoiaProfile(
+    name="AMG",
+    page_fault=TableRow(1693, 4380, 69_398_061, 250),
+    net_irq=TableRow(116, 1552, 347_902, 540),
+    net_rx=TableRow(53, 3031, 98_570, 192),
+    net_tx=TableRow(15, 471, 8_227, 176),
+    timer_irq=TableRow(100, 3334, 29_422, 795),
+    timer_softirq=TableRow(100, 1718, 49_030, 191),
+    # Faults spread through the whole run with accumulation bursts (Fig. 5a):
+    # alternating base/burst phases averaging ~1693 ev/s.
+    phases=(
+        PhaseSpec(0.00, 0.05, 3400.0),
+        PhaseSpec(0.05, 0.30, 1450.0),
+        PhaseSpec(0.30, 0.40, 2600.0),
+        PhaseSpec(0.40, 0.65, 1450.0),
+        PhaseSpec(0.65, 0.75, 2600.0),
+        PhaseSpec(0.75, 1.00, 1450.0),
+    ),
+    burst_mean_ns=2 * MSEC,
+    barrier_interval_ns=120 * MSEC,
+    read_rate=53.0,
+    write_rate=15.0,
+    ack_rate=61.0,
+    napi_poll_prob=0.10,
+    # Fig. 3: preemption budget ~0.63 ms per CPU-second over ~68 rpciod
+    # activations/s -> ~10 us bursts.
+    rpciod_service=from_stats(2_000, 10_000, 200_000, sigma=0.6),
+    fault_model=_bimodal_faults(
+        min_ns=250,
+        peak1_ns=2_500,
+        peak2_ns=4_900,
+        second_weight=0.55,
+        major_mean=250_000,
+        major_max=69_398_061,
+        major_prob=0.0022,
+    ),
+    rebalance=from_stats(600, 2_100, 30_000, sigma=0.5),
+)
+
+IRS = SequoiaProfile(
+    name="IRS",
+    page_fault=TableRow(1488, 4202, 4_825_103, 218),
+    net_irq=TableRow(87, 1666, 353_294, 521),
+    net_rx=TableRow(43, 4460, 78_236, 174),
+    net_tx=TableRow(10, 504, 4_725, 176),
+    timer_irq=TableRow(100, 6289, 35_734, 867),
+    timer_softirq=TableRow(100, 3897, 57_663, 193),
+    phases=(
+        PhaseSpec(0.00, 0.06, 2900.0),
+        PhaseSpec(0.06, 1.00, 1400.0),
+    ),
+    burst_mean_ns=3 * MSEC,
+    barrier_interval_ns=150 * MSEC,
+    read_rate=43.0,
+    write_rate=10.0,
+    ack_rate=43.0,
+    napi_poll_prob=0.10,
+    # Fig. 3: preemption 27.1 % -> ~2.9 ms per CPU-second over ~53
+    # activations -> ~80 us bursts.
+    rpciod_service=from_stats(8_000, 80_000, 1_200_000, sigma=0.8),
+    # Fig. 6b: compact distribution, main peak ~1.8 us.
+    rebalance=from_stats(900, 1_800, 12_000, sigma=0.25),
+)
+
+LAMMPS = SequoiaProfile(
+    name="LAMMPS",
+    page_fault=TableRow(231, 3221, 27_544, 248),
+    net_irq=TableRow(11, 2520, 356_380, 594),
+    net_rx=TableRow(10, 4707, 84_152, 199),
+    net_tx=TableRow(2, 559, 4_392, 175),
+    timer_irq=TableRow(100, 3763, 34_555, 1194),
+    timer_softirq=TableRow(100, 2242, 58_628, 256),
+    # Faults concentrated at the start (initialization) and end (Fig. 5b).
+    phases=(
+        PhaseSpec(0.00, 0.08, 2450.0),
+        PhaseSpec(0.08, 0.95, 16.0),
+        PhaseSpec(0.95, 1.00, 450.0),
+    ),
+    burst_mean_ns=3 * MSEC,
+    barrier_interval_ns=100 * MSEC,
+    read_rate=10.0,
+    write_rate=2.0,
+    ack_rate=2.0,
+    napi_poll_prob=0.20,
+    # Fig. 3 / Fig. 7: preemption dominates (80.2 %, ~5.85 ms per
+    # CPU-second) — rpciod moves bulk data for LAMMPS's heavy I/O, so its
+    # bursts are long (~0.65 ms).
+    rpciod_service=from_stats(80_000, 650_000, 7 * MSEC, sigma=0.7),
+    fault_model=PageFaultModel(
+        minor=from_stats(248, 3_100, 27_544, sigma=0.5),
+        major=from_stats(10_000, 20_000, 27_544, sigma=0.3),
+        major_prob=0.002,
+    ),
+    rebalance=from_stats(700, 2_000, 25_000, sigma=0.45),
+)
+
+SPHOT = SequoiaProfile(
+    name="SPHOT",
+    page_fault=TableRow(25, 2467, 889_333, 221),
+    net_irq=TableRow(21, 1372, 341_003, 535),
+    net_rx=TableRow(15, 1987, 45_150, 207),
+    net_tx=TableRow(3, 409, 2_746, 200),
+    timer_irq=TableRow(100, 1498, 10_204, 833),
+    timer_softirq=TableRow(100, 620, 32_926, 223),
+    phases=(PhaseSpec(0.0, 1.0, 25.0),),
+    burst_mean_ns=4 * MSEC,
+    barrier_interval_ns=200 * MSEC,
+    read_rate=15.0,
+    write_rate=3.0,
+    ack_rate=6.0,
+    napi_poll_prob=0.10,
+    # Fig. 3: preemption 24.7 % of a *small* total (~0.11 ms per
+    # CPU-second over ~18 activations -> ~12 us bursts).
+    rpciod_service=from_stats(2_000, 12_000, 150_000, sigma=0.6),
+    # SPHOT faults are so rare (25 ev/s) that a single major fault moves
+    # the run average; keep majors correspondingly rare so short runs stay
+    # near the paper's 2467 ns mean while the 889 us worst case remains
+    # reachable.
+    fault_model=PageFaultModel(
+        minor=from_stats(221, 2_300, 30_000, sigma=0.5),
+        major=from_stats(60_000, 180_000, 889_333, tail_weight=2e-2),
+        major_prob=0.0015,
+    ),
+    rebalance=from_stats(600, 1_600, 20_000, sigma=0.4),
+)
+
+UMT = SequoiaProfile(
+    name="UMT",
+    page_fault=TableRow(3554, 4545, 50_208, 229),
+    net_irq=TableRow(77, 1975, 349_288, 484),
+    net_rx=TableRow(22, 5484, 75_042, 167),
+    net_tx=TableRow(9, 545, 8_902, 173),
+    timer_irq=TableRow(100, 6451, 29_662, 982),
+    timer_softirq=TableRow(100, 3364, 87_472, 214),
+    phases=(
+        PhaseSpec(0.00, 0.10, 5200.0),
+        PhaseSpec(0.10, 1.00, 3400.0),
+    ),
+    burst_mean_ns=2 * MSEC,
+    barrier_interval_ns=120 * MSEC,
+    read_rate=22.0,
+    write_rate=9.0,
+    ack_rate=53.0,
+    napi_poll_prob=0.10,
+    rpciod_service=from_stats(2_000, 9_000, 150_000, sigma=0.6),
+    # "UMT runs several Python processes" that preempt ranks and trigger
+    # migrations/rebalancing — the preemption+scheduling budget (~1 ms per
+    # CPU-second) is carried mostly by these.
+    python_daemons=3,
+    python_rate=20.0,
+    python_service=from_stats(40_000, 150_000, 2 * MSEC, sigma=0.6),
+    fault_model=PageFaultModel(
+        minor=from_stats(229, 4_300, 50_208, sigma=0.55),
+        major=from_stats(20_000, 35_000, 50_208, sigma=0.3),
+        major_prob=0.006,
+    ),
+    # Fig. 6a: wide distribution, mean ~3.36 us.
+    rebalance=from_stats(700, 3_360, 60_000, sigma=0.85),
+)
+
+#: All five Sequoia benchmark profiles, in the paper's order.
+SEQUOIA_PROFILES: Dict[str, SequoiaProfile] = {
+    p.name: p for p in (AMG, IRS, LAMMPS, SPHOT, UMT)
+}
+
+# ----------------------------------------------------------------------
+# The FTQ test machine (Section III / Figures 1, 2, 9)
+# ----------------------------------------------------------------------
+
+FTQ_MACHINE = SequoiaProfile(
+    name="FTQ",
+    page_fault=TableRow(30, 2900, 40_000, 250),
+    net_irq=TableRow(1, 1500, 100_000, 540),
+    net_rx=TableRow(0.5, 2500, 50_000, 192),
+    net_tx=TableRow(0.2, 471, 8_000, 176),
+    # Fig. 2b: timer irq ~2.178 us followed by run_timer_softirq ~1.842 us.
+    timer_irq=TableRow(100, 2250, 12_000, 900),
+    timer_softirq=TableRow(100, 1900, 15_000, 300),
+    timer_irq_sigma=0.3,
+    timer_softirq_sigma=0.35,
+    phases=(PhaseSpec(0.0, 1.0, 30.0),),
+    burst_mean_ns=5 * MSEC,
+    barrier_interval_ns=10_000 * MSEC,  # FTQ never synchronizes
+    read_rate=0.5,
+    write_rate=0.2,
+    ack_rate=0.3,
+    napi_poll_prob=0.10,
+    rpciod_service=from_stats(2_000, 8_000, 100_000, sigma=0.5),
+    fault_model=PageFaultModel(
+        minor=from_stats(250, 2_900, 40_000, sigma=0.4),
+    ),
+    rebalance=from_stats(600, 1_700, 15_000, sigma=0.4),
+)

@@ -1,0 +1,55 @@
+"""Shared fixtures: pre-run traced executions reused across test modules.
+
+Simulations are deterministic, so session-scoped fixtures are safe and keep
+the suite fast: the expensive Sequoia/FTQ runs happen once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NoiseAnalysis, TraceMeta
+from repro.util.units import MSEC, SEC
+from repro.workloads import FTQWorkload, SequoiaWorkload
+
+
+@pytest.fixture(scope="session")
+def ftq_run():
+    """A 2-second FTQ execution on a 2-CPU node: (node, trace, meta)."""
+    wl = FTQWorkload()
+    node, trace = wl.run_traced(2 * SEC, seed=11, ncpus=2)
+    return node, trace, TraceMeta.from_node(node)
+
+
+@pytest.fixture(scope="session")
+def ftq_analysis(ftq_run):
+    node, trace, meta = ftq_run
+    return NoiseAnalysis(trace, meta=meta)
+
+
+@pytest.fixture(scope="session")
+def amg_run():
+    """A 1.5-second AMG execution on the full 8-CPU node."""
+    wl = SequoiaWorkload("AMG", nominal_ns=1500 * MSEC)
+    node, trace = wl.run_traced(1500 * MSEC, seed=21)
+    return node, trace, TraceMeta.from_node(node)
+
+
+@pytest.fixture(scope="session")
+def amg_analysis(amg_run):
+    node, trace, meta = amg_run
+    return NoiseAnalysis(trace, meta=meta)
+
+
+@pytest.fixture(scope="session")
+def lammps_run():
+    """A 1.5-second LAMMPS execution (preemption-dominated profile)."""
+    wl = SequoiaWorkload("LAMMPS", nominal_ns=1500 * MSEC)
+    node, trace = wl.run_traced(1500 * MSEC, seed=22)
+    return node, trace, TraceMeta.from_node(node)
+
+
+@pytest.fixture(scope="session")
+def lammps_analysis(lammps_run):
+    node, trace, meta = lammps_run
+    return NoiseAnalysis(trace, meta=meta)

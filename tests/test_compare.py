@@ -1,0 +1,76 @@
+"""Unit tests for the FTQ-vs-trace comparison machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseAnalysis, compare_ftq
+from repro.tracing.events import Ev
+from recbuild import RecordBuilder, meta
+
+
+def analysis_of(records, span_ns):
+    return NoiseAnalysis(records, meta=meta(), span_ns=span_ns)
+
+
+class TestExactReplay:
+    def test_noise_free_quanta_count_nmax(self):
+        an = analysis_of(RecordBuilder().build(), span_ns=10_000)
+        cmp = compare_ftq(an, cpu=0, quantum_ns=1000, op_ns=100)
+        assert cmp.n_max == 10
+        assert np.all(cmp.ftq_counts == 10)
+        assert np.all(cmp.ftq_noise_ns == 0)
+        assert np.all(cmp.trace_noise_ns == 0)
+
+    def test_kernel_interval_reduces_count(self):
+        # 300 ns of kernel time inside quantum 0.
+        records = RecordBuilder().activity(100, 400, Ev.IRQ_TIMER).build()
+        an = analysis_of(records, span_ns=10_000)
+        cmp = compare_ftq(an, cpu=0, quantum_ns=1000, op_ns=100)
+        assert cmp.trace_noise_ns[0] == pytest.approx(300.0)
+        # FTQ sees 3 missing ops (or 4, if op alignment cuts another).
+        assert cmp.ftq_noise_ns[0] in (300.0, 400.0)
+        assert np.all(cmp.trace_noise_ns[1:] == 0)
+
+    def test_ftq_overestimates_on_misaligned_noise(self):
+        # 250 ns of kernel time: FTQ must lose 3 whole 100 ns ops.
+        records = RecordBuilder().activity(100, 350, Ev.IRQ_TIMER).build()
+        an = analysis_of(records, span_ns=10_000)
+        cmp = compare_ftq(an, cpu=0, quantum_ns=1000, op_ns=100)
+        assert cmp.trace_noise_ns[0] == pytest.approx(250.0)
+        assert cmp.ftq_noise_ns[0] == pytest.approx(300.0)
+        assert cmp.mean_overestimate_ns() > 0
+
+    def test_counts_conserved_overall(self):
+        records = (
+            RecordBuilder()
+            .activity(500, 900, Ev.IRQ_TIMER)
+            .activity(3000, 3500, Ev.EXC_PAGE_FAULT)
+            .build()
+        )
+        an = analysis_of(records, span_ns=10_000)
+        cmp = compare_ftq(an, cpu=0, quantum_ns=1000, op_ns=100)
+        # Total ops = floor(total user time / op).
+        assert cmp.ftq_counts.sum() == (10_000 - 900) // 100
+
+    def test_validation(self):
+        an = analysis_of(RecordBuilder().build(), span_ns=10_000)
+        with pytest.raises(ValueError):
+            compare_ftq(an, 0, quantum_ns=0, op_ns=10)
+        with pytest.raises(ValueError):
+            compare_ftq(an, 0, quantum_ns=1000, op_ns=300)  # not a divisor
+        with pytest.raises(ValueError):
+            compare_ftq(an, 0, quantum_ns=1_000_000, op_ns=100)  # too long
+
+
+class TestStatistics:
+    def test_correlation_of_identical_series(self):
+        records = RecordBuilder().activity(100, 400, Ev.IRQ_TIMER).build()
+        an = analysis_of(records, span_ns=10_000)
+        cmp = compare_ftq(an, cpu=0, quantum_ns=1000, op_ns=100)
+        assert -1.0 <= cmp.correlation() <= 1.0
+
+    def test_mae_zero_when_aligned(self):
+        records = RecordBuilder().activity(100, 400, Ev.IRQ_TIMER).build()
+        an = analysis_of(records, span_ns=10_000)
+        cmp = compare_ftq(an, cpu=0, quantum_ns=1000, op_ns=100)
+        assert cmp.mean_abs_error_ns() >= 0.0

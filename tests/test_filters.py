@@ -1,0 +1,84 @@
+"""Unit tests for composable activity filters."""
+
+import pytest
+
+from repro.core import NoiseAnalysis, NoiseCategory
+from repro.core.filters import (
+    apply,
+    by_category,
+    by_cpu,
+    by_event,
+    by_pid,
+    by_window,
+    min_duration,
+    noise_only,
+)
+from repro.tracing.events import Ev
+from repro.util.units import SEC
+from recbuild import RANK, RANK2, RecordBuilder, meta
+
+
+@pytest.fixture
+def activities():
+    records = (
+        RecordBuilder()
+        .activity(100, 200, Ev.IRQ_TIMER, cpu=0, pid=RANK)
+        .activity(300, 900, Ev.EXC_PAGE_FAULT, cpu=1, pid=RANK2)
+        .activity(1000, 1100, Ev.SYSCALL, cpu=0, pid=RANK)
+        .build()
+    )
+    return NoiseAnalysis(records, meta=meta(), span_ns=SEC, ncpus=2).activities
+
+
+class TestAtomicFilters:
+    def test_by_event_names_and_ids(self, activities):
+        assert len(apply(activities, by_event("page_fault"))) == 1
+        assert len(apply(activities, by_event(Ev.IRQ_TIMER))) == 1
+        assert len(apply(activities, by_event("page_fault", "syscall"))) == 2
+
+    def test_by_event_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            by_event("bogus")
+
+    def test_by_category(self, activities):
+        assert len(apply(activities, by_category(NoiseCategory.SERVICE))) == 1
+
+    def test_by_cpu(self, activities):
+        assert len(apply(activities, by_cpu(0))) == 2
+
+    def test_by_pid(self, activities):
+        assert len(apply(activities, by_pid(RANK2))) == 1
+
+    def test_by_window_overlap_semantics(self, activities):
+        assert len(apply(activities, by_window(150, 400))) == 2
+
+    def test_noise_only(self, activities):
+        assert len(apply(activities, noise_only())) == 2  # syscall excluded
+
+    def test_min_duration(self, activities):
+        assert len(apply(activities, min_duration(500))) == 1
+
+
+class TestComposition:
+    def test_and(self, activities):
+        f = by_cpu(0) & noise_only()
+        assert len(apply(activities, f)) == 1
+
+    def test_or(self, activities):
+        f = by_event("page_fault") | by_event("syscall")
+        assert len(apply(activities, f)) == 2
+
+    def test_invert(self, activities):
+        f = ~by_event("syscall")
+        assert len(apply(activities, f)) == 2
+
+    def test_multiple_filters_conjunctive(self, activities):
+        assert len(apply(activities, by_cpu(0), by_event("syscall"))) == 1
+
+    def test_label_propagation(self):
+        f = by_cpu(0) & noise_only()
+        assert "cpu" in f.label and "noise" in f.label
+
+    def test_preemption_name_supported(self):
+        f = by_event("preemption")
+        assert f is not None

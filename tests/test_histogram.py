@@ -1,0 +1,75 @@
+"""Unit tests for duration histograms and shape statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import (
+    duration_histogram,
+    spread_ratio,
+    tail_index,
+)
+
+
+class TestDurationHistogram:
+    def test_counts_and_edges(self):
+        hist = duration_histogram([10, 20, 30, 40], bins=4, cut_pct=100.0)
+        assert hist.counts.sum() == 4
+        assert len(hist.edges) == 5
+        assert hist.n_total == hist.n_kept == 4
+
+    def test_percentile_cut_drops_tail(self):
+        values = list(range(100)) + [100_000]
+        hist = duration_histogram(values, cut_pct=99.0)
+        assert hist.n_kept < hist.n_total
+        assert hist.edges[-1] < 100_000
+
+    def test_empty(self):
+        hist = duration_histogram([])
+        assert hist.n_total == 0
+        assert hist.mode_ns() == 0.0
+
+    def test_mode(self):
+        values = [100] * 50 + [900] * 5
+        hist = duration_histogram(values, bins=10, cut_pct=100.0)
+        assert hist.mode_ns() < 300
+
+    def test_bimodal_peaks_detected(self):
+        rng = np.random.default_rng(0)
+        first = rng.normal(2500, 150, 4000)
+        second = rng.normal(4500, 150, 4000)
+        values = np.concatenate([first, second]).astype(np.int64)
+        hist = duration_histogram(values, bins=60, cut_pct=100.0)
+        peaks = hist.peaks()
+        assert len(peaks) == 2
+        assert abs(peaks[0] - 2500) < 400
+        assert abs(peaks[1] - 4500) < 400
+
+    def test_unimodal_single_peak(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(2500, 200, 8000).astype(np.int64)
+        hist = duration_histogram(values, bins=40, cut_pct=100.0)
+        assert len(hist.peaks()) == 1
+
+    def test_explicit_range(self):
+        hist = duration_histogram([10, 20, 500], bins=5, cut_pct=100.0, range_ns=(0, 100))
+        assert hist.counts.sum() == 2  # 500 outside the range
+
+
+class TestShapeStatistics:
+    def test_tail_index_high_for_long_tail(self):
+        rng = np.random.default_rng(1)
+        compact = rng.normal(1800, 100, 10_000)
+        long_tail = np.concatenate(
+            [rng.normal(1800, 100, 9_900), rng.uniform(30_000, 60_000, 100)]
+        )
+        assert tail_index(long_tail) > 5 * tail_index(compact)
+
+    def test_spread_ratio_orders_wide_vs_compact(self):
+        rng = np.random.default_rng(2)
+        compact = rng.normal(1800, 90, 10_000)   # IRS-like
+        wide = rng.lognormal(1.0, 0.9, 10_000) * 1200  # UMT-like
+        assert spread_ratio(wide) > 2 * spread_ratio(compact)
+
+    def test_empty_inputs(self):
+        assert tail_index([]) == 0.0
+        assert spread_ratio([]) == 0.0

@@ -1,0 +1,139 @@
+"""Unit tests for interrupt delivery and daemon activity drivers."""
+
+import pytest
+
+from repro.simkernel import ComputeNode, NodeConfig, RankProgram, TaskKind
+from repro.simkernel.daemons import DaemonDriver
+from repro.simkernel.distributions import Constant
+from repro.simkernel.softirq import Vec
+from repro.tracing.events import Ev, Flag, ListSink
+from repro.util.units import MSEC, SEC
+
+
+class Spin(RankProgram):
+    def step(self, node, task):
+        node.continue_compute(task, 20 * MSEC)
+
+
+def make_node(ncpus=1, seed=0):
+    node = ComputeNode(NodeConfig(ncpus=ncpus, seed=seed))
+    sink = ListSink()
+    node.attach_sink(sink)
+    node.spawn_rank("r", 0, Spin())
+    return node, sink
+
+
+class TestInterruptController:
+    def test_delivery_pushes_top_half(self):
+        node, sink = make_node()
+        node.start()
+        node.engine.run_until(1 * MSEC)
+        node.irq.deliver(node.cpus[0], Ev.IRQ_NET, 700, arg=42)
+        node.engine.run_until(2 * MSEC)
+        records = [r for r in sink.records if r[1] == Ev.IRQ_NET]
+        assert [r[3] for r in records] == [Flag.ENTRY, Flag.EXIT]
+        assert records[1][0] - records[0][0] == 700 + 2 * 0  # no overhead sink
+        assert records[0][5] == 42
+
+    def test_raised_vectors_run_at_exit(self):
+        node, sink = make_node()
+        node.start()
+        node.engine.run_until(1 * MSEC)
+        node.irq.deliver(
+            node.cpus[0], Ev.IRQ_NET, 500, raise_vecs=[Vec.NET_RX]
+        )
+        node.engine.run_until(2 * MSEC)
+        irq_exit = next(
+            r[0] for r in sink.records if r[1] == Ev.IRQ_NET and r[3] == Flag.EXIT
+        )
+        rx_entry = next(
+            r[0]
+            for r in sink.records
+            if r[1] == Ev.TASKLET_NET_RX and r[3] == Flag.ENTRY
+        )
+        assert rx_entry == irq_exit  # softirq starts exactly at top-half exit
+
+    def test_post_hook_runs_before_softirqs(self):
+        node, sink = make_node()
+        node.start()
+        node.engine.run_until(1 * MSEC)
+        order = []
+
+        def post(cpu):
+            order.append("post")
+
+        node.irq.deliver(
+            node.cpus[0], Ev.IRQ_NET, 500, raise_vecs=[Vec.NET_RX], post=post
+        )
+        node.engine.run_until(2 * MSEC)
+        assert order == ["post"]
+
+    def test_delivery_counter(self):
+        node, _ = make_node()
+        node.start()
+        node.engine.run_until(1 * MSEC)
+        before = node.irq.delivered
+        node.irq.deliver(node.cpus[0], Ev.IRQ_NET, 100)
+        assert node.irq.delivered == before + 1
+
+    def test_nested_delivery_during_activity(self):
+        # An interrupt arriving inside another interrupt nests.
+        node, sink = make_node()
+        node.start()
+        node.engine.run_until(1 * MSEC)
+        node.irq.deliver(node.cpus[0], Ev.IRQ_NET, 10_000)
+        node.engine.run_until(node.engine.now + 2_000)
+        node.irq.deliver(node.cpus[0], Ev.IRQ_TIMER, 1_000)
+        node.engine.run_until(node.engine.now + 1 * MSEC)
+        from repro.core import NoiseAnalysis, TraceMeta
+
+        analysis = NoiseAnalysis(sink.as_array(), meta=TraceMeta.from_node(node))
+        net = analysis.select(event="net_interrupt")[0]
+        tick = analysis.select(event="timer_interrupt")
+        nested = [a for a in tick if a.depth == 1]
+        assert nested
+        assert net.self_ns == net.total_ns - nested[0].total_ns
+
+
+class TestDaemonDriver:
+    def test_via_timer_wakes_inside_softirq_window(self):
+        node, sink = make_node()
+        daemon = node.add_daemon(
+            "eventd", TaskKind.UDAEMON, rate_per_sec=20,
+            service=Constant(2000), cpu=0, via_timer=True,
+        )
+        node.run(1 * SEC)
+        # Every activation follows a timer_expire point on the same CPU.
+        expires = [r[0] for r in sink.records if r[1] == Ev.TIMER_EXPIRE]
+        wakeups = [r[0] for r in sink.records if r[1] == Ev.SCHED_WAKEUP]
+        assert expires and wakeups
+        for wake in wakeups:
+            assert any(abs(wake - t) < 50_000 for t in expires)
+
+    def test_driver_stops_at_zero_rate(self):
+        node, _ = make_node()
+        driver = DaemonDriver(
+            node, node.rpciod[0], 0.0, Constant(1000), cpu=0
+        )
+        driver.start()
+        node.run(200 * MSEC)
+        assert driver.activations == 0
+
+    def test_driver_validation(self):
+        node, _ = make_node()
+        with pytest.raises(ValueError):
+            DaemonDriver(node, node.rpciod[0], -1, Constant(1), cpu=0)
+        with pytest.raises(ValueError):
+            DaemonDriver(node, node.rpciod[0], 1, Constant(1), cpu=99)
+
+    def test_random_cpu_spreads(self):
+        node = ComputeNode(NodeConfig(ncpus=4, seed=3))
+        sink = ListSink()
+        node.attach_sink(sink)
+        node.add_daemon(
+            "d", TaskKind.UDAEMON, rate_per_sec=200, service=Constant(1500),
+            cpu="random",
+        )
+        node.run(1 * SEC)
+        cpus = {r[2] for r in sink.records if r[1] == Ev.SCHED_WAKEUP}
+        assert len(cpus) >= 3

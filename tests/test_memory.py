@@ -1,0 +1,128 @@
+"""Unit tests for the page-fault machinery."""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import ComputeNode, NodeConfig, RankProgram
+from repro.simkernel.distributions import Constant
+from repro.simkernel.memory import PageFaultModel
+from repro.tracing.events import Ev, Flag, ListSink
+from repro.util.units import MSEC, SEC
+
+
+class Spin(RankProgram):
+    def step(self, node, task):
+        node.continue_compute(task, 20 * MSEC)
+
+
+def make_node(seed=0):
+    node = ComputeNode(NodeConfig(ncpus=1, seed=seed))
+    sink = ListSink()
+    node.attach_sink(sink)
+    return node, sink
+
+
+class TestPageFaultModel:
+    def test_minor_only(self):
+        model = PageFaultModel(minor=Constant(1000))
+        rng = np.random.default_rng(0)
+        duration, major = model.sample(rng)
+        assert duration == 1000 and major is False
+
+    def test_major_probability(self):
+        model = PageFaultModel(
+            minor=Constant(1000), major=Constant(100_000), major_prob=0.5
+        )
+        rng = np.random.default_rng(0)
+        results = [model.sample(rng) for _ in range(2000)]
+        majors = sum(1 for _, m in results if m)
+        assert 800 < majors < 1200
+        assert all(d == 100_000 for d, m in results if m)
+
+
+class TestFaultProcess:
+    def test_rate_respected(self):
+        node, sink = make_node()
+        task = node.spawn_rank("r", 0, Spin())
+        node.mm.set_fault_model(task, PageFaultModel(minor=Constant(2000)))
+        node.mm.set_fault_rate(task, 1000.0)
+        node.run(1 * SEC)
+        faults = [
+            r for r in sink.records if r[1] == Ev.EXC_PAGE_FAULT and r[3] == Flag.ENTRY
+        ]
+        assert 850 <= len(faults) <= 1150
+
+    def test_zero_rate_no_faults(self):
+        node, sink = make_node()
+        task = node.spawn_rank("r", 0, Spin())
+        node.mm.set_fault_rate(task, 0.0)
+        node.run(500 * MSEC)
+        faults = [r for r in sink.records if r[1] == Ev.EXC_PAGE_FAULT]
+        assert faults == []
+
+    def test_rate_change_mid_run(self):
+        node, sink = make_node()
+        task = node.spawn_rank("r", 0, Spin())
+        node.mm.set_fault_model(task, PageFaultModel(minor=Constant(2000)))
+        node.mm.set_fault_rate(task, 0.0)
+        node.engine.schedule(250 * MSEC, lambda: node.mm.set_fault_rate(task, 2000.0))
+        node.run(500 * MSEC)
+        faults = [
+            r for r in sink.records if r[1] == Ev.EXC_PAGE_FAULT and r[3] == Flag.ENTRY
+        ]
+        assert all(r[0] >= 250 * MSEC for r in faults)
+        assert len(faults) > 300
+
+    def test_major_flag_in_arg(self):
+        node, sink = make_node()
+        task = node.spawn_rank("r", 0, Spin())
+        node.mm.set_fault_model(
+            task,
+            PageFaultModel(
+                minor=Constant(1000), major=Constant(50_000), major_prob=1.0
+            ),
+        )
+        node.mm.set_fault_rate(task, 100.0)
+        node.run(200 * MSEC)
+        entries = [
+            r for r in sink.records if r[1] == Ev.EXC_PAGE_FAULT and r[3] == Flag.ENTRY
+        ]
+        assert entries and all(r[5] == 1 for r in entries)
+        assert node.mm.major_count == len(entries)
+
+    def test_faults_counted(self):
+        node, _ = make_node()
+        task = node.spawn_rank("r", 0, Spin())
+        node.mm.set_fault_rate(task, 500.0)
+        node.run(500 * MSEC)
+        assert node.mm.fault_count > 100
+
+    def test_rejects_negative_rate(self):
+        node, _ = make_node()
+        task = node.spawn_rank("r", 0, Spin())
+        with pytest.raises(ValueError):
+            node.mm.set_fault_rate(task, -1.0)
+
+    def test_no_faults_while_blocked(self):
+        node, sink = make_node()
+
+        class BlockEarly(RankProgram):
+            def __init__(self):
+                self.steps = 0
+
+            def step(self, prog_node, task):
+                self.steps += 1
+                if self.steps == 1:
+                    prog_node.continue_compute(task, 10 * MSEC)
+                else:
+                    prog_node.block_rank(task)
+
+        task = node.spawn_rank("r", 0, BlockEarly())
+        node.mm.set_fault_rate(task, 5000.0)
+        node.run(1 * SEC)
+        faults = [
+            r for r in sink.records if r[1] == Ev.EXC_PAGE_FAULT and r[3] == Flag.ENTRY
+        ]
+        # All faults happen inside the first 10ms of user execution.
+        assert faults
+        assert all(r[0] <= 15 * MSEC for r in faults)

@@ -1,0 +1,103 @@
+"""Unit tests for the MPI barrier model."""
+
+import pytest
+
+from repro.simkernel import ComputeNode, NodeConfig, RankProgram
+from repro.simkernel.task import TaskState
+from repro.workloads.mpi import Barrier
+from repro.util.units import MSEC
+
+
+class BarrierLoop(RankProgram):
+    """Each rank computes then hits the shared barrier, repeatedly."""
+
+    def __init__(self, barrier_holder, bursts, log):
+        self.holder = barrier_holder
+        self.bursts = bursts
+        self.log = log
+        self.count = {}
+
+    def step(self, node, task):
+        n = self.count.get(task.pid, 0)
+        if n and n % 2 == 0:
+            self.log.append(("arrive", task.pid, node.engine.now))
+            self.count[task.pid] = n + 1
+            self.holder["b"].arrive(
+                task, then=lambda: self._after(node, task)
+            )
+        else:
+            self.count[task.pid] = n + 1
+            node.continue_compute(task, self.bursts[task.pid % len(self.bursts)])
+
+    def _after(self, node, task):
+        self.log.append(("release", task.pid, node.engine.now))
+        node.continue_compute(task, 1 * MSEC)
+
+
+class TestBarrier:
+    def _run(self, ncpus=3):
+        node = ComputeNode(NodeConfig(ncpus=ncpus, seed=1))
+        holder = {}
+        log = []
+        # Unequal bursts so ranks arrive at different times.
+        program = BarrierLoop(holder, [2 * MSEC, 5 * MSEC, 9 * MSEC], log)
+        tasks = [node.spawn_rank(f"r{i}", i, program) for i in range(ncpus)]
+        holder["b"] = Barrier(node, tasks)
+        node.run(60 * MSEC)
+        return node, tasks, holder["b"], log
+
+    def test_all_ranks_release_together(self):
+        node, tasks, barrier, log = self._run()
+        releases = [t for kind, pid, t in log if kind == "release"]
+        assert len(releases) >= 3
+        first_gen = sorted(releases)[:3]
+        # Releases of one generation are nearly simultaneous (same event
+        # cascade) and never precede the last arrival.
+        arrivals = sorted(t for kind, pid, t in log if kind == "arrive")[:3]
+        assert min(first_gen) >= max(arrivals)
+
+    def test_early_ranks_block(self):
+        node = ComputeNode(NodeConfig(ncpus=2, seed=2))
+        holder, log = {}, []
+        program = BarrierLoop(holder, [2 * MSEC, 30 * MSEC], log)
+        tasks = [node.spawn_rank(f"r{i}", i, program) for i in range(2)]
+        holder["b"] = Barrier(node, tasks)
+        node.run(25 * MSEC)
+        # Fast rank arrived and is blocked awaiting the slow one.
+        assert tasks[0].state == TaskState.BLOCKED
+        assert holder["b"].waiting == 1
+
+    def test_generations_counted(self):
+        node, tasks, barrier, log = self._run()
+        assert barrier.generations >= 1
+
+    def test_double_arrival_rejected(self):
+        node = ComputeNode(NodeConfig(ncpus=2, seed=3))
+
+        class ArriveTwice(RankProgram):
+            def __init__(self, holder):
+                self.holder = holder
+                self.done = set()
+
+            def step(self, prog_node, task):
+                if task.pid in self.done:
+                    prog_node.continue_compute(task, MSEC)
+                    return
+                self.done.add(task.pid)
+                barrier = self.holder["b"]
+                barrier.arrive(task, then=lambda: None)
+                with pytest.raises(RuntimeError):
+                    barrier.arrive(task, then=lambda: None)
+                raise SystemExit  # stop the simulation; assertion done
+
+        holder = {}
+        program = ArriveTwice(holder)
+        tasks = [node.spawn_rank(f"r{i}", i, program) for i in range(2)]
+        holder["b"] = Barrier(node, tasks)
+        with pytest.raises(SystemExit):
+            node.run(10 * MSEC)
+
+    def test_requires_tasks(self):
+        node = ComputeNode(NodeConfig(ncpus=1))
+        with pytest.raises(ValueError):
+            Barrier(node, [])

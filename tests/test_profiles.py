@@ -1,0 +1,102 @@
+"""Tests for the per-application calibration profiles themselves.
+
+The profiles are the calibration layer between the paper's tables and the
+simulation; these tests check the models *directly* (by sampling), without
+running a simulation — so a calibration regression is caught at the source.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.profiles import FTQ_MACHINE, SEQUOIA_PROFILES
+
+N_SAMPLES = 30_000
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+def sample(model, rng, n=N_SAMPLES):
+    return np.array([model.sample(rng) for _ in range(n)], dtype=np.int64)
+
+
+class TestTableCalibration:
+    @pytest.mark.parametrize("name", sorted(SEQUOIA_PROFILES))
+    def test_timer_irq_model_matches_table_v(self, name, rng):
+        profile = SEQUOIA_PROFILES[name]
+        models = profile.activity_models()
+        samples = sample(models.timer_irq, rng, 20_000)
+        assert samples.mean() == pytest.approx(profile.timer_irq.avg, rel=0.12)
+        assert samples.min() >= profile.timer_irq.min
+        assert samples.max() <= profile.timer_irq.max
+
+    @pytest.mark.parametrize("name", sorted(SEQUOIA_PROFILES))
+    def test_timer_softirq_model_matches_table_vi(self, name, rng):
+        profile = SEQUOIA_PROFILES[name]
+        models = profile.activity_models()
+        samples = sample(models.timer_softirq, rng, 20_000)
+        assert samples.mean() == pytest.approx(
+            profile.timer_softirq.avg, rel=0.12
+        )
+        assert samples.min() >= profile.timer_softirq.min
+
+    @pytest.mark.parametrize("name", sorted(SEQUOIA_PROFILES))
+    def test_net_models_match_tables(self, name, rng):
+        profile = SEQUOIA_PROFILES[name]
+        models = profile.activity_models()
+        for model, row in (
+            (models.net_irq, profile.net_irq),
+            (models.net_rx, profile.net_rx),
+            (models.net_tx, profile.net_tx),
+        ):
+            samples = sample(model, rng, 15_000)
+            assert samples.mean() == pytest.approx(row.avg, rel=0.15)
+            assert samples.min() >= row.min
+            assert samples.max() <= row.max
+
+    @pytest.mark.parametrize("name", sorted(SEQUOIA_PROFILES))
+    def test_fault_model_mean_near_table_i(self, name, rng):
+        profile = SEQUOIA_PROFILES[name]
+        model = profile.fault_model_or_default()
+        samples = np.array(
+            [model.sample(rng)[0] for _ in range(40_000)], dtype=np.int64
+        )
+        # Rare majors make the sample mean fluctuate; compare medians of
+        # the bulk plus a generous mean band.
+        assert samples.mean() == pytest.approx(profile.page_fault.avg, rel=0.5)
+        assert samples.min() < 3 * profile.page_fault.min
+        assert samples.max() <= profile.page_fault.max
+
+    @pytest.mark.parametrize("name", sorted(SEQUOIA_PROFILES))
+    def test_phase_plan_covers_whole_run(self, name):
+        phases = SEQUOIA_PROFILES[name].phases
+        assert phases[0].begin == 0.0
+        assert phases[-1].end == 1.0
+        for a, b in zip(phases, phases[1:]):
+            assert a.end == b.begin  # contiguous, no gaps
+
+    def test_amg_fault_model_is_bimodal(self, rng):
+        model = SEQUOIA_PROFILES["AMG"].fault_model_or_default()
+        samples = np.array([model.sample(rng)[0] for _ in range(30_000)])
+        body = samples[samples < 10_000]
+        low_peak = ((body > 2_000) & (body < 3_000)).sum()
+        valley = ((body > 3_300) & (body < 3_900)).sum()
+        high_peak = ((body > 4_400) & (body < 5_400)).sum()
+        assert low_peak > 1.5 * valley
+        assert high_peak > 1.5 * valley
+
+    def test_ftq_machine_matches_fig2_durations(self, rng):
+        models = FTQ_MACHINE.activity_models()
+        tick = sample(models.timer_irq, rng, 10_000)
+        softirq = sample(models.timer_softirq, rng, 10_000)
+        # Fig. 2b: ~2.18 us tick, ~1.84 us softirq ("about the same").
+        assert tick.mean() == pytest.approx(2250, rel=0.1)
+        assert softirq.mean() == pytest.approx(1900, rel=0.1)
+
+    def test_node_config_carries_napi_knob(self):
+        for name, profile in SEQUOIA_PROFILES.items():
+            config = profile.node_config(seed=1)
+            assert config.napi_poll_prob == profile.napi_poll_prob
+            assert config.hz == 100

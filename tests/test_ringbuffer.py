@@ -1,0 +1,140 @@
+"""Unit + property tests for the LTTng-style ring buffers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracing.events import RECORD_SIZE
+from repro.tracing.ringbuffer import Mode, RingBuffer
+
+
+def write_n(rb, n, start_time=0):
+    ok = 0
+    for i in range(n):
+        if rb.write(start_time + i, 1, 0, 0, 0, 0):
+            ok += 1
+    return ok
+
+
+class TestBasics:
+    def test_records_land_in_subbuffers(self):
+        rb = RingBuffer(0, subbuf_size=RECORD_SIZE * 4, n_subbufs=4)
+        write_n(rb, 4)
+        assert rb.records_written == 4
+        subbufs = rb.flush()
+        assert sum(sb.n_records for sb in subbufs) == 4
+
+    def test_packet_timestamps(self):
+        rb = RingBuffer(0, subbuf_size=RECORD_SIZE * 2, n_subbufs=4)
+        rb.write(100, 1, 0, 0, 0, 0)
+        rb.write(200, 1, 0, 0, 0, 0)
+        sb = rb.flush()[0]
+        assert sb.begin_ts == 100 and sb.end_ts == 200
+
+    def test_consume_takes_only_full(self):
+        rb = RingBuffer(0, subbuf_size=RECORD_SIZE * 2, n_subbufs=4)
+        write_n(rb, 3)  # one full subbuffer + one half
+        taken = rb.consume()
+        assert sum(sb.n_records for sb in taken) == 2
+        assert rb.unconsumed_bytes() == RECORD_SIZE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0, subbuf_size=4)
+        with pytest.raises(ValueError):
+            RingBuffer(0, n_subbufs=1)
+
+
+class TestDiscardMode:
+    def test_discards_when_full(self):
+        rb = RingBuffer(
+            0, subbuf_size=RECORD_SIZE * 2, n_subbufs=2, mode=Mode.DISCARD
+        )
+        # Capacity before stall: 1 completed subbuffer (2 rec) + current (2).
+        ok = write_n(rb, 10)
+        assert ok == 4
+        assert rb.records_lost == 6
+        assert rb.overwritten_subbufs == 0
+
+    def test_loss_resumes_after_consume(self):
+        rb = RingBuffer(
+            0, subbuf_size=RECORD_SIZE * 2, n_subbufs=2, mode=Mode.DISCARD
+        )
+        write_n(rb, 10)
+        rb.consume()
+        assert rb.write(100, 1, 0, 0, 0, 0) is True
+
+    def test_lost_before_recorded_on_next_packet(self):
+        rb = RingBuffer(
+            0, subbuf_size=RECORD_SIZE * 2, n_subbufs=2, mode=Mode.DISCARD
+        )
+        write_n(rb, 10)  # 6 lost
+        rb.consume()
+        write_n(rb, 2, start_time=50)  # fills current, switches
+        packets = rb.flush()
+        assert any(sb.lost_before == 6 for sb in packets)
+
+
+class TestOverwriteMode:
+    def test_overwrites_oldest(self):
+        rb = RingBuffer(
+            0, subbuf_size=RECORD_SIZE * 2, n_subbufs=2, mode=Mode.OVERWRITE
+        )
+        ok = write_n(rb, 10)
+        assert ok == 10  # nothing refused...
+        assert rb.records_lost > 0  # ...but old data dropped
+        assert rb.overwritten_subbufs > 0
+
+    def test_flight_recorder_keeps_newest(self):
+        rb = RingBuffer(
+            0, subbuf_size=RECORD_SIZE * 2, n_subbufs=3, mode=Mode.OVERWRITE
+        )
+        write_n(rb, 20)
+        packets = rb.flush()
+        newest = max(sb.end_ts for sb in packets)
+        assert newest == 19
+
+
+# ----------------------------------------------------------------------
+# Property: conservation — every emitted record is either written or lost.
+# ----------------------------------------------------------------------
+
+@given(
+    n_records=st.integers(min_value=0, max_value=300),
+    subbuf_records=st.integers(min_value=1, max_value=16),
+    n_subbufs=st.integers(min_value=2, max_value=6),
+    mode=st.sampled_from([Mode.DISCARD, Mode.OVERWRITE]),
+    consume_every=st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_conservation(n_records, subbuf_records, n_subbufs, mode, consume_every):
+    rb = RingBuffer(
+        0,
+        subbuf_size=RECORD_SIZE * subbuf_records,
+        n_subbufs=n_subbufs,
+        mode=mode,
+    )
+    consumed = 0
+    for i in range(n_records):
+        rb.write(i, 1, 0, 0, 0, 0)
+        if consume_every and i % consume_every == consume_every - 1:
+            consumed += sum(sb.n_records for sb in rb.consume())
+    consumed += sum(sb.n_records for sb in rb.flush())
+    # In OVERWRITE mode, records counted as written may later be lost; the
+    # invariant is: consumed + lost == total emitted.
+    assert consumed + rb.records_lost == n_records
+
+
+@given(
+    subbuf_records=st.integers(min_value=1, max_value=8),
+    n_subbufs=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_timestamps_monotonic_within_packets(subbuf_records, n_subbufs):
+    rb = RingBuffer(
+        0, subbuf_size=RECORD_SIZE * subbuf_records, n_subbufs=n_subbufs
+    )
+    for i in range(50):
+        rb.write(i * 10, 1, 0, 0, 0, 0)
+    for sb in rb.flush():
+        assert sb.begin_ts <= sb.end_ts

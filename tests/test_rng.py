@@ -1,0 +1,39 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_seeded_is_deterministic(self):
+        a = make_rng(42).integers(0, 1 << 30, 10)
+        b = make_rng(42).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_deterministic(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rngs(7, 4)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rngs(7, 4)]
+        assert a == b
+
+    def test_children_independent_streams(self):
+        children = spawn_rngs(7, 3)
+        draws = [g.integers(0, 1 << 30, 5).tolist() for g in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []

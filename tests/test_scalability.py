@@ -1,0 +1,77 @@
+"""Unit tests for the noise-resonance scalability projection."""
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseCategory
+from repro.core.scalability import (
+    ablated_samples,
+    per_interval_noise_samples,
+    project_slowdown,
+    resonance_scan,
+)
+from repro.util.units import MSEC
+
+
+class TestProjectSlowdown:
+    def test_slowdown_grows_with_nodes(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(5000, 2000)  # 5 us mean noise / interval
+        points = project_slowdown(samples, MSEC, [1, 16, 256, 4096], rng=1)
+        slowdowns = [p.slowdown for p in points]
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[-1] > slowdowns[0]
+
+    def test_no_noise_no_slowdown(self):
+        points = project_slowdown(np.zeros(100), MSEC, [1024], rng=1)
+        assert points[0].slowdown == pytest.approx(1.0)
+
+    def test_penalty_bounded_by_worst_sample(self):
+        samples = np.full(50, 1000.0)
+        point = project_slowdown(samples, MSEC, [100], rng=1)[0]
+        assert point.mean_penalty_ns == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_slowdown([], MSEC, [4])
+        with pytest.raises(ValueError):
+            project_slowdown([1.0], 0, [4])
+        with pytest.raises(ValueError):
+            project_slowdown([1.0], MSEC, [0])
+
+    def test_deterministic_given_seed(self):
+        samples = np.random.default_rng(3).exponential(2000, 500)
+        a = project_slowdown(samples, MSEC, [64], rng=7)[0].slowdown
+        b = project_slowdown(samples, MSEC, [64], rng=7)[0].slowdown
+        assert a == b
+
+
+class TestOnRealTrace:
+    def test_samples_from_analysis(self, ftq_analysis):
+        samples = per_interval_noise_samples(ftq_analysis, MSEC, cpu=0)
+        assert samples.size > 100
+        assert samples.sum() > 0
+
+    def test_ablation_reduces_noise(self, amg_analysis):
+        full = ablated_samples(amg_analysis, MSEC, drop_categories=[])
+        no_pf = ablated_samples(
+            amg_analysis, MSEC, drop_categories=[NoiseCategory.PAGE_FAULT]
+        )
+        # AMG is page-fault dominated: removing them collapses its noise.
+        assert no_pf.sum() < 0.4 * full.sum()
+
+    def test_ablation_improves_projected_scalability(self, amg_analysis):
+        full = ablated_samples(amg_analysis, MSEC, drop_categories=[])
+        no_pf = ablated_samples(
+            amg_analysis, MSEC, drop_categories=[NoiseCategory.PAGE_FAULT]
+        )
+        s_full = project_slowdown(full, MSEC, [1024], rng=5)[0].slowdown
+        s_nopf = project_slowdown(no_pf, MSEC, [1024], rng=5)[0].slowdown
+        assert s_nopf < s_full
+
+    def test_resonance_scan_shape(self, ftq_analysis):
+        scan = resonance_scan(
+            ftq_analysis, [MSEC, 10 * MSEC], nodes=256, rng=2, cpu=0
+        )
+        assert set(scan) == {MSEC, 10 * MSEC}
+        assert all(v >= 1.0 for v in scan.values())

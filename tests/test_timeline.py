@@ -1,0 +1,138 @@
+"""Unit tests for task-state timelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeline import StateInterval, TaskTimeline
+from repro.simkernel.task import TaskState
+from repro.util.units import MSEC, SEC
+from recbuild import DAEMON, RANK, RANK2, RecordBuilder, meta
+
+
+def timeline_of(records, end_ts=10_000):
+    return TaskTimeline(records, meta=meta(), end_ts=end_ts)
+
+
+class TestReconstruction:
+    def test_simple_lifecycle(self):
+        records = (
+            RecordBuilder()
+            .state(0, RANK, TaskState.RUNNING)
+            .state(4000, RANK, TaskState.BLOCKED)
+            .state(7000, RANK, TaskState.RUNNABLE)
+            .state(7500, RANK, TaskState.RUNNING)
+            .build()
+        )
+        tl = timeline_of(records)
+        intervals = tl.intervals(RANK)
+        assert [iv.state for iv in intervals] == [
+            TaskState.RUNNING,
+            TaskState.BLOCKED,
+            TaskState.RUNNABLE,
+            TaskState.RUNNING,
+        ]
+        assert intervals[-1].end == 10_000  # extends to trace end
+        assert tl.time_in_state(RANK, TaskState.BLOCKED) == 3000
+        assert tl.time_in_state(RANK, TaskState.RUNNABLE) == 500
+
+    def test_state_at(self):
+        records = (
+            RecordBuilder()
+            .state(100, RANK, TaskState.RUNNING)
+            .state(500, RANK, TaskState.BLOCKED)
+            .build()
+        )
+        tl = timeline_of(records)
+        assert tl.state_at(RANK, 50) is None
+        assert tl.state_at(RANK, 300) == TaskState.RUNNING
+        assert tl.state_at(RANK, 600) == TaskState.BLOCKED
+        assert tl.state_at(RANK, 99_999) == TaskState.BLOCKED  # persists
+        assert tl.state_at(12345, 0) is None
+
+    def test_multiple_tasks_independent(self):
+        records = (
+            RecordBuilder()
+            .state(0, RANK, TaskState.RUNNING)
+            .state(0, RANK2, TaskState.BLOCKED)
+            .state(5000, RANK2, TaskState.RUNNING)
+            .build()
+        )
+        tl = timeline_of(records)
+        assert tl.pids() == [RANK, RANK2]
+        assert tl.time_in_state(RANK2, TaskState.BLOCKED) == 5000
+
+    def test_zero_length_interval_dropped(self):
+        records = (
+            RecordBuilder()
+            .state(100, RANK, TaskState.RUNNABLE)
+            .state(100, RANK, TaskState.RUNNING)
+            .build()
+        )
+        tl = timeline_of(records)
+        assert [iv.state for iv in tl.intervals(RANK)] == [TaskState.RUNNING]
+
+
+class TestSummaries:
+    def test_occupancy_sums_to_one(self):
+        records = (
+            RecordBuilder()
+            .state(0, RANK, TaskState.RUNNING)
+            .state(6000, RANK, TaskState.BLOCKED)
+            .build()
+        )
+        tl = timeline_of(records)
+        occ = tl.occupancy(RANK)
+        assert sum(occ.values()) == pytest.approx(1.0)
+        assert occ[TaskState.RUNNING] == pytest.approx(0.6)
+
+    def test_wait_times(self):
+        records = (
+            RecordBuilder()
+            .state(0, RANK, TaskState.RUNNING)
+            .state(1000, RANK, TaskState.RUNNABLE)
+            .state(1400, RANK, TaskState.RUNNING)
+            .state(5000, RANK, TaskState.RUNNABLE)
+            .state(5100, RANK, TaskState.RUNNING)
+            .build()
+        )
+        waits = timeline_of(records).wait_times(RANK)
+        assert list(waits) == [400, 100]
+
+    def test_summary_only_application_tasks(self):
+        records = (
+            RecordBuilder()
+            .state(0, RANK, TaskState.RUNNING)
+            .state(0, DAEMON, TaskState.BLOCKED)
+            .build()
+        )
+        summary = timeline_of(records).summary()
+        assert RANK in summary
+        assert DAEMON not in summary
+
+    def test_empty_task(self):
+        tl = timeline_of(RecordBuilder().build())
+        assert tl.occupancy(RANK) == {}
+        assert tl.wait_times(RANK).size == 0
+
+
+class TestOnRealTrace:
+    def test_lammps_ranks_wait_during_preemptions(self, lammps_run):
+        node, trace, m = lammps_run
+        tl = TaskTimeline(trace.records(), meta=m, end_ts=trace.end_ts)
+        summary = tl.summary()
+        assert len(summary) == 8
+        # LAMMPS is preemption-dominated: its ranks visibly wait runnable.
+        total_wait = sum(row["runnable"] for row in summary.values())
+        assert total_wait > 0.005 * len(summary)
+        # And everyone spends most time actually running.
+        for row in summary.values():
+            assert row["running"] > 0.5
+
+    def test_consistency_with_blocked_accounting(self, ftq_run):
+        node, trace, m = ftq_run
+        tl = TaskTimeline(trace.records(), meta=m, end_ts=trace.end_ts)
+        rank_pid = m.application_pids()[0]
+        blocked = tl.blocked_times(rank_pid)
+        # FTQ rarely blocks (only its sparse NFS ops).
+        assert tl.occupancy(rank_pid).get(TaskState.BLOCKED, 0.0) < 0.05
+        assert (blocked >= 0).all()

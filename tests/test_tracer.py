@@ -1,0 +1,170 @@
+"""Unit tests for the tracer: recording, perturbation, loss, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import ComputeNode, NodeConfig, RankProgram
+from repro.tracing.ctf import Trace
+from repro.tracing.events import Ev
+from repro.tracing.ringbuffer import Mode
+from repro.tracing.tracer import Tracer
+from repro.util.units import MSEC, SEC
+
+
+class Spin(RankProgram):
+    def step(self, node, task):
+        node.continue_compute(task, 5 * MSEC)
+
+
+def build(seed=0, ncpus=2, **tracer_kwargs):
+    node = ComputeNode(NodeConfig(ncpus=ncpus, seed=seed))
+    tracer = Tracer(node, **tracer_kwargs)
+    tracer.attach()
+    t = node.spawn_rank("r", 0, Spin())
+    node.mm.set_fault_rate(t, 300)
+    return node, tracer
+
+
+class TestLifecycle:
+    def test_attach_records_and_finish(self):
+        node, tracer = build()
+        node.run(300 * MSEC)
+        trace = tracer.finish()
+        assert tracer.records_written > 0
+        assert trace.records().size == tracer.records_written
+        assert trace.ncpus == 2
+        assert trace.end_ts >= 300 * MSEC
+
+    def test_double_attach_fails(self):
+        node = ComputeNode(NodeConfig(ncpus=1))
+        tracer = Tracer(node)
+        tracer.attach()
+        with pytest.raises(RuntimeError):
+            tracer.attach()
+
+    def test_finish_without_attach_fails(self):
+        node = ComputeNode(NodeConfig(ncpus=1))
+        with pytest.raises(RuntimeError):
+            Tracer(node).finish()
+
+    def test_collection_daemon_created(self):
+        node, tracer = build()
+        assert tracer.daemon is not None
+        assert tracer.daemon.name == "lttd"
+
+
+class TestPerturbation:
+    def test_tracing_slows_activities(self):
+        # Same seed, different per-record costs: higher cost => the same
+        # kernel activities take longer, so less user work completes.
+        def kernel_time(overhead):
+            node, tracer = build(seed=7, record_overhead_ns=overhead)
+            node.run(500 * MSEC)
+            tracer.finish()
+            return node.total_kernel_ns()
+
+        assert kernel_time(400) > kernel_time(0)
+
+    def test_zero_overhead_tracer_is_pure_observer(self):
+        node, tracer = build(seed=9, record_overhead_ns=0, flush_period_ns=SEC)
+        node.run(200 * MSEC)
+        tracer.finish()
+        # Only the lttd daemon distinguishes it from an untraced run; with a
+        # 1 s flush period it never woke during 200 ms.
+        assert tracer.records_written > 0
+
+    def test_overhead_validation(self):
+        node = ComputeNode(NodeConfig(ncpus=1))
+        with pytest.raises(ValueError):
+            Tracer(node, record_overhead_ns=-1)
+
+
+class TestLoss:
+    def test_tiny_buffers_lose_events_with_accounting(self):
+        node, tracer = build(
+            seed=3,
+            subbuf_size=24 * 4,
+            n_subbufs=2,
+            flush_period_ns=10 * SEC,  # consumer effectively absent
+        )
+        node.run(500 * MSEC)
+        trace = tracer.finish()
+        assert tracer.records_lost > 0
+        assert trace.records_lost == sum(p.lost_before for p in trace.packets)
+
+    def test_overwrite_mode_keeps_newest(self):
+        node, tracer = build(
+            seed=3,
+            subbuf_size=24 * 8,
+            n_subbufs=2,
+            mode=Mode.OVERWRITE,
+            flush_period_ns=10 * SEC,
+        )
+        node.run(500 * MSEC)
+        trace = tracer.finish()
+        records = trace.records()
+        assert records.size > 0
+        # Flight recorder: the newest events survive.
+        assert int(records["time"].max()) > 400 * MSEC
+
+    def test_default_buffers_lose_nothing(self):
+        node, tracer = build(seed=3)
+        node.run(500 * MSEC)
+        tracer.finish()
+        assert tracer.records_lost == 0
+
+
+class TestEventFiltering:
+    def test_only_enabled_events_recorded(self):
+        node, tracer = build(
+            seed=5, enabled_events=["page_fault", "timer_interrupt"]
+        )
+        node.run(300 * MSEC)
+        trace = tracer.finish()
+        events = set(trace.records()["event"])
+        assert events <= {int(Ev.EXC_PAGE_FAULT), int(Ev.IRQ_TIMER)}
+        assert int(Ev.EXC_PAGE_FAULT) in events
+        assert tracer.records_filtered > 0
+
+    def test_accepts_numeric_ids(self):
+        node, tracer = build(seed=5, enabled_events=[int(Ev.SYSCALL)])
+        node.run(100 * MSEC)
+        trace = tracer.finish()
+        assert set(trace.records()["event"]) <= {int(Ev.SYSCALL)}
+
+    def test_unknown_event_name_rejected(self):
+        node = ComputeNode(NodeConfig(ncpus=1))
+        with pytest.raises(ValueError):
+            Tracer(node, enabled_events=["bogus_event"])
+
+    def test_disabled_tracepoints_cost_nothing(self):
+        # Filtering everything but the tick must perturb less than full
+        # tracing at the same per-record cost.
+        def kernel_time(enabled):
+            node, tracer = build(
+                seed=7, record_overhead_ns=400, enabled_events=enabled
+            )
+            node.run(500 * MSEC)
+            tracer.finish()
+            return node.total_kernel_ns()
+
+        assert kernel_time(["timer_interrupt"]) < kernel_time(None)
+
+
+class TestTraceContent:
+    def test_serialization_roundtrip_after_real_run(self):
+        node, tracer = build(seed=5)
+        node.run(300 * MSEC)
+        trace = tracer.finish()
+        back = Trace.from_bytes(trace.to_bytes())
+        assert np.array_equal(back.records(), trace.records())
+
+    def test_expected_event_mix(self):
+        node, tracer = build(seed=5)
+        node.run(500 * MSEC)
+        trace = tracer.finish()
+        events = set(trace.records()["event"])
+        assert int(Ev.IRQ_TIMER) in events
+        assert int(Ev.SOFTIRQ_TIMER) in events
+        assert int(Ev.EXC_PAGE_FAULT) in events
+        assert int(Ev.SCHED_SWITCH) in events

@@ -1,0 +1,66 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import MSEC, NSEC, SEC, USEC, fmt_ns, parse_duration
+
+
+class TestConstants:
+    def test_scales(self):
+        assert USEC == 1_000 * NSEC
+        assert MSEC == 1_000 * USEC
+        assert SEC == 1_000 * MSEC
+
+
+class TestFmtNs:
+    def test_nanoseconds_stay_integral(self):
+        assert fmt_ns(250) == "250 ns"
+
+    def test_microseconds(self):
+        assert fmt_ns(2178) == "2.178 us"
+
+    def test_milliseconds(self):
+        assert fmt_ns(7_500_000) == "7.5 ms"
+
+    def test_seconds(self):
+        assert fmt_ns(3 * SEC) == "3 s"
+
+    def test_zero(self):
+        assert fmt_ns(0) == "0 ns"
+
+    def test_negative(self):
+        assert fmt_ns(-1500) == "-1.5 us"
+
+    def test_trailing_zeros_trimmed(self):
+        assert fmt_ns(1_000_000) == "1 ms"
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("250ns", 250),
+            ("1.5us", 1500),
+            ("10ms", 10 * MSEC),
+            ("2s", 2 * SEC),
+            ("3 ms", 3 * MSEC),
+            ("1.5µs", 1500),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_raw_numbers_are_nanoseconds(self):
+        assert parse_duration(250) == 250
+        assert parse_duration(1.5) == 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_duration("fast")
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(ValueError):
+            parse_duration("10 weeks")
+
+    def test_roundtrip_with_fmt(self):
+        assert parse_duration(fmt_ns(2178)) == 2178
