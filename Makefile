@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples coverage clean
+.PHONY: install test test-fast bench sweep figures examples coverage clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,8 +10,18 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Exercise the parallel runner + result cache on a small seed set; a
+# second invocation is served entirely from .sweep-cache.
+sweep:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+	$(PYTHON) -m repro.cli sweep AMG --duration 300ms --seeds 0:6 \
+		--ncpus 4 --cache-dir .sweep-cache
 
 figures:
 	$(PYTHON) examples/generate_figures.py figures 1.5
@@ -28,5 +38,5 @@ examples:
 	$(PYTHON) examples/cluster_study.py
 
 clean:
-	rm -rf figures paraver_out .pytest_cache
+	rm -rf figures paraver_out .pytest_cache .sweep-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

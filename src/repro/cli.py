@@ -315,6 +315,75 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def _parse_seeds(text: str) -> List[int]:
+    """``"8"`` -> seeds 0..7; ``"3:11"`` -> 3..10; ``"1,5,9"`` -> as listed."""
+    text = text.strip()
+    if ":" in text:
+        lo, hi = text.split(":", 1)
+        return list(range(int(lo), int(hi)))
+    if "," in text:
+        return [int(part) for part in text.split(",") if part.strip()]
+    return list(range(int(text)))
+
+
+def cmd_sweep(args) -> int:
+    from repro.core.sweep import SeedSweep
+    from repro.exec import ResultCache
+
+    name = args.workload.upper()
+    if name != "FTQ" and name not in SEQUOIA_PROFILES:
+        choices = ["FTQ"] + sorted(SEQUOIA_PROFILES)
+        print(f"unknown workload {args.workload!r}; choose from {choices}",
+              file=sys.stderr)
+        return 2
+    duration = parse_duration(args.duration)
+    try:
+        seeds = _parse_seeds(args.seeds)
+    except ValueError:
+        print(f"bad --seeds {args.seeds!r}: use a count (8), a range (0:8) "
+              f"or a list (1,5,9)", file=sys.stderr)
+        return 2
+    if not seeds:
+        print("empty seed set", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    if args.clear_cache:
+        if cache is None:
+            print("--clear-cache needs the cache enabled", file=sys.stderr)
+            return 2
+        removed = cache.clear()
+        print(f"cleared {removed} cached runs from {cache.root}",
+              file=sys.stderr)
+
+    def progress(done, total, spec, cached, elapsed) -> None:
+        how = "cache" if cached else f"{elapsed:.2f}s"
+        print(f"[{done}/{total}] {spec.workload} seed {spec.seed}: {how}",
+              file=sys.stderr)
+
+    sweep = SeedSweep.run(
+        name,
+        duration,
+        seeds,
+        ncpus=args.ncpus,
+        parallel=not args.serial,
+        max_workers=args.workers,
+        cache=cache,
+        progress=progress,
+    )
+    events = [e for e in (args.events or "").split(",") if e.strip()]
+    print(f"{name}: {len(seeds)} seeds x {fmt_ns(duration)} "
+          f"on {args.ncpus} cpus")
+    print(sweep.summary_table(events))
+    if cache is not None:
+        print(cache.describe(), file=sys.stderr)
+    return 0
+
+
 def cmd_ftq_compare(args) -> int:
     analysis = _analysis(args)
     comparison = ftq_output(
@@ -431,6 +500,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100)
     p.add_argument("--all-events", action="store_true")
     p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser(
+        "sweep",
+        help="seed sweep with parallel fan-out and result caching",
+    )
+    p.add_argument("workload", help="FTQ or a Sequoia benchmark name")
+    p.add_argument("--duration", default="500ms",
+                   help="simulated time per run (e.g. 500ms)")
+    p.add_argument("--seeds", default="8",
+                   help="seed set: a count (8), a range (0:8) or a list "
+                        "(1,5,9)")
+    p.add_argument("--ncpus", type=int, default=8)
+    p.add_argument("--workers", type=int,
+                   help="process-pool size (default: all cores)")
+    p.add_argument("--serial", action="store_true",
+                   help="run in-process instead of fanning out "
+                        "(results are bit-identical)")
+    p.add_argument("--events", default="timer_interrupt",
+                   help="comma-separated events for the summary table")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="result cache location (default: "
+                        "$LTTNG_NOISE_CACHE or ~/.cache/lttng-noise)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always re-simulate; write nothing to disk")
+    p.add_argument("--clear-cache", action="store_true",
+                   help="empty the cache before running")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("ftq-compare", help="FTQ vs trace validation")
     p.add_argument("trace")

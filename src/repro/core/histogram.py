@@ -45,8 +45,12 @@ class Histogram:
         Used to verify bimodality (AMG's ~2.5 us and ~4.5 us fault peaks).
         """
         c = self.counts.astype(np.float64)
-        if len(c) < 3 or c.max() == 0:
-            return self.centers[: int(c.max() > 0)]
+        if c.max() == 0:
+            return self.centers[:0]
+        if len(c) < 3:
+            # Too short to smooth: the single peak is the argmax bin (not
+            # necessarily bin 0).
+            return np.array([float(self.centers[int(np.argmax(c))])])
         # [1,2,1]/4 binomial smoothing, twice.
         kernel = np.array([0.25, 0.5, 0.25])
         for _ in range(2):

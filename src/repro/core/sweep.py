@@ -10,8 +10,9 @@ confidence interval).  EXPERIMENTS.md's tolerances were picked with this.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,12 +35,22 @@ class MetricSummary:
 
     @property
     def cv(self) -> float:
-        """Coefficient of variation (std/mean); 0 when mean is 0."""
-        return self.std / self.mean if self.mean else 0.0
+        """Coefficient of variation (std/|mean|); 0 when mean is 0.
+
+        The magnitude of the mean normalizes the spread — a negative-mean
+        metric must not report a negative dispersion.
+        """
+        return self.std / abs(self.mean) if self.mean else 0.0
 
     def confidence_interval(self, z: float = 1.96) -> "tuple[float, float]":
-        """Normal-approximation CI of the mean (default ~95 %)."""
-        half = z * self.std / math.sqrt(max(1, len(self.values)))
+        """Normal-approximation CI of the mean (default ~95 %).
+
+        With a single sample the spread is unknowable, so the interval is
+        infinitely wide — a one-run sweep must not masquerade as converged.
+        """
+        if len(self.values) < 2:
+            return (-math.inf, math.inf)
+        half = z * self.std / math.sqrt(len(self.values))
         return (self.mean - half, self.mean + half)
 
     def describe(self) -> str:
@@ -61,11 +72,56 @@ class SeedSweep:
 
     @staticmethod
     def run(
-        workload_factory: Callable[[], "object"],
+        workload_factory: Union[str, Callable[[], "object"]],
         duration_ns: int,
         seeds: Sequence[int],
         ncpus: int = 8,
+        *,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        cache: Optional["object"] = None,
+        progress: Optional[Callable] = None,
     ) -> "SeedSweep":
+        """Run the workload once per seed and collect the analyses.
+
+        ``workload_factory`` is a zero-arg callable (the historical API) or
+        a workload name resolvable by :mod:`repro.exec` (``"FTQ"``, a
+        Sequoia benchmark, ``"module:attr"``).  With ``parallel=True`` the
+        runs fan out across a process pool; results are bit-identical to
+        the serial path because each run is deterministic in its spec.
+        ``cache`` (a :class:`repro.exec.ResultCache`) lets repeat sweeps
+        skip simulation entirely.
+
+        Factories that are not importable by name (lambdas, closures,
+        bound instances) cannot cross a process boundary; those fall back
+        to in-process execution with a warning.
+        """
+        from repro.exec import ParallelRunner, RunSpec, dotted_path_of
+
+        name: Optional[str] = None
+        if isinstance(workload_factory, str):
+            name = workload_factory
+        elif parallel or cache is not None:
+            name = dotted_path_of(workload_factory)
+            if name is None and parallel:
+                warnings.warn(
+                    "workload factory has no importable path; running the "
+                    "sweep serially in-process (pass a workload name or a "
+                    "module-level factory to parallelize)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if name is not None:
+            specs = [
+                RunSpec.make(name, duration_ns, int(seed), ncpus)
+                for seed in seeds
+            ]
+            runner = ParallelRunner(
+                max_workers=max_workers, cache=cache, parallel=parallel
+            )
+            results = runner.run(specs, progress=progress)
+            return SeedSweep([r.analysis() for r in results])
+
         analyses = []
         for seed in seeds:
             workload = workload_factory()

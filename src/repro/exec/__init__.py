@@ -1,0 +1,38 @@
+"""Parallel run-execution layer: specs, process fan-out, result cache.
+
+Independent seeded runs dominate the repo's wall time (sweeps, the Sequoia
+case study, scalability extrapolations).  This package makes them cheap:
+
+* :class:`RunSpec` — a hashable, serializable description of one run;
+* :class:`ParallelRunner` — fans specs across a process pool, falling back
+  to bit-identical in-process execution where pools are unavailable;
+* :class:`ResultCache` — on-disk (trace, meta) store keyed by a content
+  hash of the spec + package version, so repeat invocations skip
+  simulation entirely.
+"""
+
+from repro.exec.cache import CACHE_ENV, ResultCache, default_cache_dir
+from repro.exec.runner import (
+    ParallelRunner,
+    RunResult,
+    execute_spec_serialized,
+)
+from repro.exec.spec import (
+    RunSpec,
+    dotted_path_of,
+    register_workload,
+    resolve_factory,
+)
+
+__all__ = [
+    "CACHE_ENV",
+    "ResultCache",
+    "default_cache_dir",
+    "ParallelRunner",
+    "RunResult",
+    "execute_spec_serialized",
+    "RunSpec",
+    "dotted_path_of",
+    "register_workload",
+    "resolve_factory",
+]

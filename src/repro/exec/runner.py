@@ -1,0 +1,185 @@
+"""Parallel fan-out of independent simulated runs.
+
+Every seeded run is deterministic and independent, so a sweep is
+embarrassingly parallel: :class:`ParallelRunner` ships :class:`RunSpec`\\ s
+to a ``ProcessPoolExecutor`` and reassembles results in input order.
+Workers exchange only plain bytes (the serialized trace + meta JSON), never
+live simulator objects, which keeps the fan-out start-method agnostic —
+fork and spawn behave identically because each worker rebuilds the workload
+from the spec.
+
+When processes are unavailable (single core, restricted sandboxes, broken
+pool) the runner degrades to in-process serial execution; by construction
+the results are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.cache import ResultCache
+from repro.exec.spec import RunSpec
+
+#: progress callback: (done, total, spec, cached, elapsed_seconds)
+ProgressFn = Callable[[int, int, RunSpec, bool, float], None]
+
+
+def execute_spec_serialized(spec: RunSpec) -> Tuple[bytes, str, float]:
+    """Worker entry point: simulate one spec, return picklable primitives.
+
+    Returns ``(trace_bytes, meta_json, elapsed_seconds)``.  Module-level so
+    it pickles under every multiprocessing start method.
+    """
+    t0 = time.perf_counter()
+    trace, meta = spec.execute()
+    return trace.to_bytes(), meta.to_json(), time.perf_counter() - t0
+
+
+@dataclass
+class RunResult:
+    """One completed run: the spec plus its trace, meta and provenance."""
+
+    spec: RunSpec
+    trace: "object"
+    meta: "object"
+    cached: bool
+    elapsed_s: float
+
+    def analysis(self):
+        from repro.core.analysis import NoiseAnalysis
+
+        return NoiseAnalysis(self.trace, meta=self.meta)
+
+
+class ParallelRunner:
+    """Fan independent RunSpecs across processes, with optional caching."""
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        parallel: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.cache = cache
+        self.parallel = parallel
+        #: Filled per run() call: how many specs each path handled.
+        self.last_cached = 0
+        self.last_simulated = 0
+        self.used_processes = False
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressFn] = None,
+    ) -> List[RunResult]:
+        """Execute all specs; results come back in input order.
+
+        Identical specs are simulated once and fanned back to every
+        position that asked for them.
+        """
+        total = len(specs)
+        results: List[Optional[RunResult]] = [None] * total
+        done = 0
+
+        def report(result: RunResult) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(done, total, result.spec, result.cached,
+                         result.elapsed_s)
+
+        # Cache pass + dedup: positions wanting the same uncached spec.
+        pending: Dict[RunSpec, List[int]] = {}
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                results[i] = RunResult(spec, hit[0], hit[1], True, 0.0)
+                report(results[i])
+            else:
+                pending.setdefault(spec, []).append(i)
+
+        self.last_cached = total - sum(len(v) for v in pending.values())
+        self.last_simulated = len(pending)
+        unique = list(pending)
+
+        for spec, trace, meta, elapsed in self._execute(unique):
+            if self.cache is not None:
+                self.cache.put(spec, trace, meta)
+            for i in pending[spec]:
+                results[i] = RunResult(spec, trace, meta, False, elapsed)
+                report(results[i])
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    def _execute(self, specs: List[RunSpec]):
+        """Yield ``(spec, trace, meta, elapsed)`` for every spec."""
+        self.used_processes = False
+        workers = min(self.max_workers, len(specs))
+        if not self.parallel or workers <= 1:
+            yield from self._execute_serial(specs)
+            return
+        try:
+            yield from self._execute_processes(specs, workers)
+        except _PoolUnavailable as exc:
+            # Restricted environments (no /dev/shm, spawn failures) or a
+            # crashed worker: fall back to the in-process path, which is
+            # bit-identical, for whatever is still missing.
+            yield from self._execute_serial(exc.remaining)
+
+    @staticmethod
+    def _execute_serial(specs: List[RunSpec]):
+        from repro.core.model import TraceMeta  # noqa: F401  (import parity)
+
+        for spec in specs:
+            t0 = time.perf_counter()
+            trace, meta = spec.execute()
+            yield spec, trace, meta, time.perf_counter() - t0
+
+    def _execute_processes(self, specs: List[RunSpec], workers: int):
+        from repro.core.model import TraceMeta
+        from repro.tracing.ctf import Trace
+
+        try:
+            from concurrent.futures import (
+                ProcessPoolExecutor,
+                as_completed,
+            )
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError as exc:  # pragma: no cover - stdlib always has it
+            raise _PoolUnavailable(specs) from exc
+
+        remaining = set(specs)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_spec_serialized, spec): spec
+                    for spec in specs
+                }
+                for future in as_completed(futures):
+                    spec = futures[future]
+                    trace_bytes, meta_json, elapsed = future.result()
+                    remaining.discard(spec)
+                    self.used_processes = True
+                    yield (
+                        spec,
+                        Trace.from_bytes(trace_bytes),
+                        TraceMeta.from_json(meta_json),
+                        elapsed,
+                    )
+        except (BrokenProcessPool, OSError, RuntimeError) as exc:
+            raise _PoolUnavailable(sorted(remaining)) from exc
+
+
+class _PoolUnavailable(Exception):
+    """Process pool could not run; carries the specs still unexecuted."""
+
+    def __init__(self, remaining: List[RunSpec]) -> None:
+        super().__init__("process pool unavailable")
+        self.remaining = list(remaining)

@@ -77,6 +77,7 @@ class RingBuffer:
         self.records_lost = 0
         self.overwritten_subbufs = 0
         self._lost_since_switch = 0
+        self._last_loss_ts = 0
 
     # ------------------------------------------------------------------
     def write(
@@ -89,6 +90,7 @@ class RingBuffer:
                 # DISCARD mode with all sub-buffers full: lose the event.
                 self.records_lost += 1
                 self._lost_since_switch += 1
+                self._last_loss_ts = time
                 return False
         self._current.append(record, time)
         self.records_written += 1
@@ -99,10 +101,18 @@ class RingBuffer:
         if len(self._full) >= self.n_subbufs - 1:
             if self.mode == Mode.DISCARD:
                 return False
-            # OVERWRITE: drop the oldest unconsumed sub-buffer.
+            # OVERWRITE: drop the oldest unconsumed sub-buffer.  Its
+            # records are reclassified written -> lost, so that
+            # ``records_written`` always counts records still retrievable
+            # and written + lost == events emitted in every mode.  The
+            # victim's own ``lost_before`` (already counted in
+            # ``records_lost``) must be carried forward, not destroyed
+            # with it, or those losses vanish from the consumed stream.
             victim = self._full.pop(0)
             self.records_lost += victim.n_records
-            self._lost_since_switch += victim.n_records
+            self.records_written -= victim.n_records
+            self._lost_since_switch += victim.n_records + victim.lost_before
+            self._last_loss_ts = victim.end_ts
             self.overwritten_subbufs += 1
         self._full.append(self._current)
         self._current = SubBuffer(self.subbuf_size)
@@ -117,11 +127,24 @@ class RingBuffer:
         return taken
 
     def flush(self) -> List[SubBuffer]:
-        """Finalize: retire the current sub-buffer too and take everything."""
+        """Finalize: retire the current sub-buffer too and take everything.
+
+        Losses that happened after the last switch would otherwise never
+        surface in any consumed sub-buffer's ``lost_before`` (they were
+        parked to be reported by the *next* sub-buffer, which will never
+        exist) — so flush emits a final, possibly empty, sub-buffer that
+        carries the residual count.  This keeps the accounting invariant
+        ``consumed + sum(lost_before) == records_written + records_lost``
+        exact at end of trace in both modes.
+        """
         if self._current.n_records > 0:
             self._full.append(self._current)
             self._current = SubBuffer(self.subbuf_size)
-            self._current.lost_before = self._lost_since_switch
+        if self._lost_since_switch > 0:
+            tail = SubBuffer(self.subbuf_size)
+            tail.lost_before = self._lost_since_switch
+            tail.begin_ts = tail.end_ts = self._last_loss_ts
+            self._full.append(tail)
             self._lost_since_switch = 0
         return self.consume()
 

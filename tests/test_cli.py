@@ -239,3 +239,33 @@ class TestTraceMetaSerialization:
         main(["report", recorded + ".lttnz", "--all-events"])
         out = capsys.readouterr().out
         assert "lttd" in out
+
+
+class TestSweepCommand:
+    def test_sweep_prints_summary_and_uses_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "FTQ", "--duration", "100ms", "--seeds", "0:3",
+                "--ncpus", "2", "--serial", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out, err = capsys.readouterr()
+        assert "noise_fraction" in out and "n=3" in out
+        assert "[3/3]" in err and "cache" not in err.split("\n")[2]
+        # Second invocation: every run served from the cache.
+        assert main(argv) == 0
+        out2, err2 = capsys.readouterr()
+        assert err2.count(": cache") == 3
+        assert out2.splitlines()[1:] == out.splitlines()[1:]
+
+    def test_sweep_unknown_workload(self, capsys):
+        assert main(["sweep", "HPL", "--no-cache"]) == 2
+
+    def test_sweep_seed_list_and_clear_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "FTQ", "--duration", "100ms", "--seeds", "1,5",
+                "--ncpus", "2", "--serial", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--clear-cache"]) == 0
+        _, err = capsys.readouterr()
+        assert "cleared 2 cached runs" in err
+        assert ": cache" not in err  # cache was emptied first

@@ -1,0 +1,231 @@
+"""Tests for the parallel run-execution layer (repro.exec).
+
+Covers: RunSpec identity/serialization, the on-disk result cache
+(hit/miss, version invalidation, corruption recovery), the parallel
+runner's ordering/dedup/fallback behaviour, and the determinism contract —
+parallel and serial execution produce bit-identical traces.
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.core.sweep import SeedSweep
+from repro.exec import (
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    dotted_path_of,
+    register_workload,
+    resolve_factory,
+)
+from repro.util.units import MSEC
+from repro.workloads import FTQWorkload, SequoiaWorkload
+
+
+SHORT = 80 * MSEC
+
+
+def spec(seed=0, workload="FTQ", duration=SHORT, ncpus=2, **kw):
+    return RunSpec.make(workload, duration, seed, ncpus, **kw)
+
+
+class TestRunSpec:
+    def test_hashable_and_equal(self):
+        assert spec(1) == spec(1)
+        assert spec(1) != spec(2)
+        assert len({spec(0), spec(0), spec(1)}) == 2
+
+    def test_kwargs_order_is_canonical(self):
+        a = RunSpec.make("FTQ", SHORT, 0, 2, cpu=0, eventd_rate=2.0)
+        b = RunSpec.make("FTQ", SHORT, 0, 2, eventd_rate=2.0, cpu=0)
+        assert a == b
+        assert a.cache_token() == b.cache_token()
+
+    def test_dict_roundtrip(self):
+        s = RunSpec.make("AMG", SHORT, 3, 4, nominal_ns=SHORT)
+        assert RunSpec.from_dict(s.to_dict()) == s
+
+    def test_cache_token_depends_on_fields_and_version(self):
+        base = spec(0)
+        assert base.cache_token() != spec(1).cache_token()
+        assert base.cache_token() != base.cache_token(version="other")
+        assert base.cache_token() == spec(0).cache_token()
+
+    def test_non_scalar_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            RunSpec.make("FTQ", SHORT, 0, 2, bad=[1, 2])
+
+    def test_build_workload_builtins(self):
+        assert isinstance(spec().build_workload(), FTQWorkload)
+        amg = spec(workload="AMG").build_workload()
+        assert isinstance(amg, SequoiaWorkload)
+        # Sequoia phase plans default to the simulated duration.
+        assert amg.nominal_ns == SHORT
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError):
+            resolve_factory("NOSUCH")
+
+    def test_dotted_path_resolution(self):
+        path = dotted_path_of(FTQWorkload)
+        assert path == "repro.workloads.ftq:FTQWorkload"
+        assert resolve_factory(path) is FTQWorkload
+        assert dotted_path_of(lambda: None) is None
+
+    def test_register_workload(self):
+        register_workload("my-ftq", FTQWorkload)
+        try:
+            assert resolve_factory("MY-FTQ") is FTQWorkload
+        finally:
+            from repro.exec import spec as spec_mod
+
+            spec_mod._REGISTRY.pop("MY-FTQ", None)
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        s = spec(0)
+        assert cache.get(s) is None
+        trace, meta = s.execute()
+        cache.put(s, trace, meta)
+        assert cache.contains(s)
+        hit = cache.get(s)
+        assert hit is not None
+        assert hit[0].to_bytes() == trace.to_bytes()
+        assert hit[1].to_json() == meta.to_json()
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_version_change_invalidates(self, tmp_path):
+        s = spec(0)
+        old = ResultCache(str(tmp_path), version="1.0.0")
+        trace, meta = s.execute()
+        old.put(s, trace, meta)
+        assert old.get(s) is not None
+        new = ResultCache(str(tmp_path), version="2.0.0")
+        assert new.get(s) is None  # different token -> re-simulate
+
+    def test_corrupt_entry_is_a_miss_and_evicted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        s = spec(0)
+        trace, meta = s.execute()
+        cache.put(s, trace, meta)
+        trace_path = cache._paths(s)[0]
+        with open(trace_path, "wb") as fp:
+            fp.write(b"garbage")
+        assert cache.get(s) is None
+        assert not cache.contains(s)
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for seed in (0, 1):
+            s = spec(seed)
+            cache.put(s, *s.execute())
+        assert cache.clear() == 2
+        assert cache.get(spec(0)) is None
+
+
+class TestParallelRunner:
+    def test_results_in_input_order(self):
+        specs = [spec(s) for s in (3, 1, 2)]
+        results = ParallelRunner(parallel=False).run(specs)
+        assert [r.spec.seed for r in results] == [3, 1, 2]
+
+    def test_duplicate_specs_simulated_once(self, tmp_path):
+        runner = ParallelRunner(parallel=False,
+                                cache=ResultCache(str(tmp_path)))
+        results = runner.run([spec(7), spec(7)])
+        assert runner.last_simulated == 1
+        assert results[0].trace.to_bytes() == results[1].trace.to_bytes()
+
+    def test_cache_warm_second_run_skips_simulation(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        specs = [spec(s) for s in range(3)]
+        first = ParallelRunner(parallel=False, cache=cache)
+        assert all(not r.cached for r in first.run(specs))
+        second = ParallelRunner(parallel=False, cache=cache)
+        results = second.run(specs)
+        assert all(r.cached for r in results)
+        assert second.last_simulated == 0
+
+    def test_progress_callback_counts_every_run(self):
+        seen = []
+        ParallelRunner(parallel=False).run(
+            [spec(s) for s in range(3)],
+            progress=lambda done, total, sp, cached, el:
+                seen.append((done, total, sp.seed, cached)),
+        )
+        assert [s[0] for s in seen] == [1, 2, 3]
+        assert all(total == 3 and not cached for _, total, _, cached in seen)
+
+    def test_parallel_results_bit_identical_to_serial(self):
+        specs = [spec(s) for s in range(4)]
+        serial = ParallelRunner(parallel=False).run(specs)
+        parallel = ParallelRunner(max_workers=2).run(specs)
+        for a, b in zip(serial, parallel):
+            assert a.trace.to_bytes() == b.trace.to_bytes()
+            assert a.meta.to_json() == b.meta.to_json()
+
+    def test_analysis_helper(self):
+        result = ParallelRunner(parallel=False).run([spec(0)])[0]
+        analysis = result.analysis()
+        assert analysis.span_ns > 0
+
+
+class TestSeedSweepIntegration:
+    SEEDS = list(range(8))
+
+    def test_parallel_sweep_identical_to_serial(self):
+        serial = SeedSweep.run("FTQ", SHORT, self.SEEDS, ncpus=2,
+                               parallel=False)
+        parallel = SeedSweep.run("FTQ", SHORT, self.SEEDS, ncpus=2,
+                                 parallel=True)
+        s_nf = serial.noise_fraction().values
+        p_nf = parallel.noise_fraction().values
+        assert list(s_nf) == list(p_nf)
+        for a, b in zip(serial.analyses, parallel.analyses):
+            assert a.span_ns == b.span_ns
+            assert len(a.records) == len(b.records)
+            assert a.total_noise_ns() == b.total_noise_ns()
+
+    def test_name_path_matches_legacy_factory_path(self):
+        legacy = SeedSweep.run(FTQWorkload, SHORT, [0, 1], ncpus=2)
+        named = SeedSweep.run("FTQ", SHORT, [0, 1], ncpus=2)
+        assert list(legacy.noise_fraction().values) == \
+            list(named.noise_fraction().values)
+
+    def test_unpicklable_factory_falls_back_with_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sweep = SeedSweep.run(lambda: FTQWorkload(), SHORT, [0],
+                                  ncpus=2, parallel=True)
+        assert len(sweep.analyses) == 1
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+
+    def test_sweep_uses_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        SeedSweep.run("FTQ", SHORT, [0, 1], ncpus=2, cache=cache)
+        assert cache.misses == 2
+        SeedSweep.run("FTQ", SHORT, [0, 1], ncpus=2, cache=cache)
+        assert cache.hits == 2
+
+
+@pytest.mark.slow
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup needs >= 4 cores")
+def test_parallel_speedup_on_multicore():
+    """>= 2x wall-clock speedup fanning 8 runs over >= 4 cores."""
+    import time
+
+    specs = [RunSpec.make("AMG", 1000 * MSEC, s, 4) for s in range(8)]
+    t0 = time.perf_counter()
+    ParallelRunner(parallel=False).run(specs)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    runner = ParallelRunner(max_workers=4)
+    runner.run(specs)
+    parallel_s = time.perf_counter() - t0
+    assert runner.used_processes
+    assert serial_s / parallel_s >= 2.0

@@ -54,6 +54,20 @@ class TestDurationHistogram:
         hist = duration_histogram([10, 20, 500], bins=5, cut_pct=100.0, range_ns=(0, 100))
         assert hist.counts.sum() == 2  # 500 outside the range
 
+    def test_short_histogram_peak_is_argmax_bin(self):
+        # Two bins, all mass in bin 1: the peak must be bin 1's center,
+        # not bin 0's (the old short-path always returned centers[0]).
+        hist = duration_histogram([90, 95, 99], bins=2, cut_pct=100.0,
+                                  range_ns=(0, 100))
+        peaks = hist.peaks()
+        assert len(peaks) == 1
+        assert peaks[0] == pytest.approx(hist.centers[1])
+        assert peaks[0] == pytest.approx(hist.mode_ns())
+
+    def test_short_histogram_no_counts_no_peaks(self):
+        hist = duration_histogram([], bins=2)
+        assert len(hist.peaks()) == 0
+
 
 class TestShapeStatistics:
     def test_tail_index_high_for_long_tail(self):

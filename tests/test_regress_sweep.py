@@ -106,9 +106,25 @@ class TestMetricSummary:
         assert summary.std == 0.0
         assert summary.cv == 0.0
 
+    def test_single_value_ci_is_infinitely_wide(self):
+        # One run says nothing about spread; the CI must not collapse to a
+        # zero-width "converged" interval.
+        low, high = MetricSummary("m", np.array([5.0])).confidence_interval()
+        assert low == -np.inf and high == np.inf
+
+    def test_negative_mean_cv_is_positive(self):
+        summary = MetricSummary("m", np.array([-1.0, -2.0, -3.0]))
+        assert summary.mean < 0
+        assert summary.cv > 0
+        assert summary.cv == pytest.approx(summary.std / 2.0)
+
     def test_describe(self):
         text = MetricSummary("m", np.array([1.0, 2.0])).describe()
         assert "m:" in text and "CI" in text
+
+    def test_describe_single_value_shows_unbounded_ci(self):
+        text = MetricSummary("m", np.array([5.0])).describe()
+        assert "inf" in text
 
 
 class TestSeedSweep:
