@@ -55,7 +55,7 @@ def test_fig05_fault_placement(benchmark, runs, echo):
     node, trace, meta, analysis = runs.sequoia("AMG")
     faults = apply(analysis.activities, by_event("page_fault"))
     with tempfile.TemporaryDirectory() as d:
-        writer = ParaverWriter(meta, node.config.ncpus, analysis.end_ts)
+        writer = ParaverWriter(meta, analysis.ncpus, analysis.end_ts)
         prv, _, _ = writer.export(os.path.join(d, "amg_faults"), faults)
         _, records = parse_prv(prv)
         echo(f"\nfiltered Paraver trace: {len(records)} records "

@@ -53,7 +53,7 @@ def test_fig07_lammps_preemptions(benchmark, runs, echo):
 
     # The filtered Paraver export (everything but preemptions masked).
     with tempfile.TemporaryDirectory() as d:
-        writer = ParaverWriter(meta, node.config.ncpus, analysis.end_ts)
+        writer = ParaverWriter(meta, analysis.ncpus, analysis.end_ts)
         prv, _, _ = writer.export(os.path.join(d, "lammps_preempt"), windows)
         _, records = parse_prv(prv)
         assert len(records) == 3 * len(windows)

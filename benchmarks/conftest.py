@@ -1,9 +1,14 @@
 """Shared benchmark infrastructure.
 
 Every bench regenerates one of the paper's tables or figures.  Simulated
-executions are deterministic and cached for the whole session; each bench
-then measures (via pytest-benchmark) the analysis step it exercises and
-prints the paper's rows next to the measured ones.
+executions are deterministic and cached twice: in memory for the session
+(as before) and on disk through :class:`repro.exec.ResultCache`, so a
+second benchmark invocation skips simulation entirely.  Set
+``LTTNG_NOISE_BENCH_CACHE`` to a directory to relocate the disk cache, or
+to ``off`` to disable it (always re-simulate).
+
+Each bench then measures (via pytest-benchmark) the analysis step it
+exercises and prints the paper's rows next to the measured ones.
 
 Run with ``pytest benchmarks/ --benchmark-only`` — add ``-s`` to also see
 the printed tables live.
@@ -11,11 +16,14 @@ the printed tables live.
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 import pytest
 
 from repro.core import NoiseAnalysis, TraceMeta
+from repro.exec import ResultCache, RunSpec
 from repro.util.units import MSEC, SEC
-from repro.workloads import FTQWorkload, SequoiaWorkload
 
 #: Simulated run length for the Sequoia case study (the paper ran minutes;
 #: shape converges well before that and wall time stays reasonable).
@@ -23,39 +31,57 @@ CASE_STUDY_NS = 2500 * MSEC
 SEED = 42
 
 
-class RunCache:
-    """Lazily simulate + analyze each workload once per session."""
+def _disk_cache() -> Optional[ResultCache]:
+    env = os.environ.get("LTTNG_NOISE_BENCH_CACHE", "")
+    if env.lower() in ("off", "0", "no", "false"):
+        return None
+    return ResultCache(env or None)
 
-    def __init__(self) -> None:
+
+class RunCache:
+    """Lazily simulate + analyze each workload once per session.
+
+    Each entry is ``(node, trace, meta, analysis)``.  On a disk-cache hit
+    the run is *not* re-simulated, so ``node`` is None — benches that poke
+    live simulator state must handle that (the figure/table content itself
+    only needs trace + meta).
+    """
+
+    def __init__(self, disk: Optional[ResultCache] = None) -> None:
         self._runs = {}
+        self.disk = disk if disk is not None else _disk_cache()
+
+    def _get(self, key, spec: RunSpec):
+        if key not in self._runs:
+            node = None
+            hit = self.disk.get(spec) if self.disk is not None else None
+            if hit is not None:
+                trace, meta = hit
+            else:
+                workload = spec.build_workload()
+                node, trace = workload.run_traced(
+                    spec.duration_ns, seed=spec.seed, ncpus=spec.ncpus
+                )
+                meta = TraceMeta.from_node(node)
+                if self.disk is not None:
+                    self.disk.put(spec, trace, meta)
+            self._runs[key] = (
+                node,
+                trace,
+                meta,
+                NoiseAnalysis(trace, meta=meta),
+            )
+        return self._runs[key]
 
     def sequoia(self, name: str):
-        key = ("seq", name)
-        if key not in self._runs:
-            wl = SequoiaWorkload(name, nominal_ns=CASE_STUDY_NS)
-            node, trace = wl.run_traced(CASE_STUDY_NS, seed=SEED)
-            meta = TraceMeta.from_node(node)
-            self._runs[key] = (
-                node,
-                trace,
-                meta,
-                NoiseAnalysis(trace, meta=meta),
-            )
-        return self._runs[key]
+        return self._get(
+            ("seq", name), RunSpec.make(name, CASE_STUDY_NS, SEED, 8)
+        )
 
     def ftq(self, duration_ns=3 * SEC):
-        key = ("ftq", duration_ns)
-        if key not in self._runs:
-            wl = FTQWorkload()
-            node, trace = wl.run_traced(duration_ns, seed=SEED, ncpus=2)
-            meta = TraceMeta.from_node(node)
-            self._runs[key] = (
-                node,
-                trace,
-                meta,
-                NoiseAnalysis(trace, meta=meta),
-            )
-        return self._runs[key]
+        return self._get(
+            ("ftq", duration_ns), RunSpec.make("FTQ", duration_ns, SEED, 2)
+        )
 
 
 @pytest.fixture(scope="session")
