@@ -1,6 +1,9 @@
 # Convenience targets for the lttng-noise reproduction.
 
 PYTHON ?= python
+# Every target runs against the in-tree sources; prepend them to any
+# caller-provided PYTHONPATH instead of clobbering it.
+PYENV = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test test-fast bench sweep figures examples coverage clean
 
@@ -8,34 +11,34 @@ install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYENV) $(PYTHON) -m pytest tests/
 
 test-fast:
-	$(PYTHON) -m pytest tests/ -m "not slow"
+	$(PYENV) $(PYTHON) -m pytest tests/ -m "not slow"
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(PYENV) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Exercise the parallel runner + result cache on a small seed set; a
 # second invocation is served entirely from .sweep-cache.
 sweep:
-	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+	$(PYENV) \
 	$(PYTHON) -m repro.cli sweep AMG --duration 300ms --seeds 0:6 \
 		--ncpus 4 --cache-dir .sweep-cache
 
 figures:
-	$(PYTHON) examples/generate_figures.py figures 1.5
+	$(PYENV) $(PYTHON) examples/generate_figures.py figures 1.5
 
 examples:
-	$(PYTHON) examples/quickstart.py
-	$(PYTHON) examples/sequoia_case_study.py 1.0
-	$(PYTHON) examples/noise_disambiguation.py
-	$(PYTHON) examples/paraver_export.py paraver_out LAMMPS
-	$(PYTHON) examples/scalability_projection.py
-	$(PYTHON) examples/noise_injection_study.py
-	$(PYTHON) examples/custom_workload.py
-	$(PYTHON) examples/kernel_regression_workflow.py
-	$(PYTHON) examples/cluster_study.py
+	$(PYENV) $(PYTHON) examples/quickstart.py
+	$(PYENV) $(PYTHON) examples/sequoia_case_study.py 1.0
+	$(PYENV) $(PYTHON) examples/noise_disambiguation.py
+	$(PYENV) $(PYTHON) examples/paraver_export.py paraver_out LAMMPS
+	$(PYENV) $(PYTHON) examples/scalability_projection.py
+	$(PYENV) $(PYTHON) examples/noise_injection_study.py
+	$(PYENV) $(PYTHON) examples/custom_workload.py
+	$(PYENV) $(PYTHON) examples/kernel_regression_workflow.py
+	$(PYENV) $(PYTHON) examples/cluster_study.py
 
 clean:
 	rm -rf figures paraver_out .pytest_cache .sweep-cache

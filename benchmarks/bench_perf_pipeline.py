@@ -6,9 +6,13 @@ the analyzer chews records.  These run with multiple rounds (they are the
 only benches here where pytest-benchmark's statistics mean something).
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.core import NoiseAnalysis, TraceMeta
+from repro.core.reference import ReferenceAnalysis
 from repro.util.units import MSEC, SEC
 from repro.workloads import SequoiaWorkload
 
@@ -41,6 +45,86 @@ def test_perf_analysis(benchmark, amg_trace):
 
     n = benchmark.pedantic(analyze, rounds=3, iterations=1)
     assert n > 10_000
+
+
+def _analyze_phase(analysis_cls, trace, meta):
+    """The full analyze phase: reconstruction + classification + the
+    standard query battery (tables, breakdowns, per-CPU series, timeline)."""
+    analysis = analysis_cls(trace, meta=meta)
+    stats = analysis.stats_by_event(noise_only=True)
+    breakdown = analysis.breakdown_ns()
+    per_cpu = analysis.per_cpu_noise_ns()
+    per_cpu_cat = analysis.per_cpu_breakdown()
+    timeline = analysis.noise_timeline(MSEC)
+    total = analysis.total_noise_ns()
+    return {
+        "stats": {
+            name: (s.count, s.total, s.max, s.min) for name, s in stats.items()
+        },
+        "breakdown": {c.value: v for c, v in breakdown.items()},
+        "per_cpu": per_cpu.tolist(),
+        "per_cpu_cat": {
+            cpu: {c.value: v for c, v in cats.items()}
+            for cpu, cats in per_cpu_cat.items()
+        },
+        "timeline": timeline,
+        "total": total,
+    }
+
+
+def test_perf_analyze_columnar(benchmark, amg_trace):
+    """Analyze-phase throughput, columnar ActivityTable path."""
+    trace, meta = amg_trace
+    out = benchmark.pedantic(
+        lambda: _analyze_phase(NoiseAnalysis, trace, meta), rounds=3,
+        iterations=1,
+    )
+    assert out["total"] > 0
+
+
+def test_perf_analyze_reference(benchmark, amg_trace):
+    """Analyze-phase throughput, per-object reference path (seed code)."""
+    trace, meta = amg_trace
+    out = benchmark.pedantic(
+        lambda: _analyze_phase(ReferenceAnalysis, trace, meta), rounds=3,
+        iterations=1,
+    )
+    assert out["total"] > 0
+
+
+def test_columnar_speedup_and_parity(amg_trace):
+    """The refactor's contract: >=5x analyze-phase speedup on the AMG trace
+    with numerically identical outputs (exact integers for ns totals)."""
+    trace, meta = amg_trace
+
+    def best_of(fn, rounds):
+        best = float("inf")
+        result = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    t_ref, ref = best_of(
+        lambda: _analyze_phase(ReferenceAnalysis, trace, meta), rounds=2
+    )
+    t_col, col = best_of(
+        lambda: _analyze_phase(NoiseAnalysis, trace, meta), rounds=3
+    )
+
+    # Exact integer parity on every nanosecond total.
+    assert col["stats"] == ref["stats"]
+    assert col["breakdown"] == ref["breakdown"]
+    assert col["per_cpu"] == ref["per_cpu"]
+    assert col["per_cpu_cat"] == ref["per_cpu_cat"]
+    assert col["total"] == ref["total"]
+    np.testing.assert_array_equal(col["timeline"], ref["timeline"])
+
+    speedup = t_ref / t_col
+    print(f"\nanalyze phase: reference {t_ref*1000:.1f} ms, "
+          f"columnar {t_col*1000:.1f} ms -> {speedup:.1f}x")
+    assert speedup >= 5.0, f"columnar analyze phase only {speedup:.2f}x faster"
 
 
 def test_perf_decode(benchmark, amg_trace):

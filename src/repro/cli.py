@@ -207,13 +207,13 @@ def cmd_export(args) -> int:
         from repro.io import ParaverWriter
 
         writer = ParaverWriter(meta, analysis.ncpus, analysis.end_ts)
-        files = writer.export(args.paraver, analysis.activities)
+        files = writer.export(args.paraver, analysis.table)
         print("paraver: " + ", ".join(files))
         did = True
     if args.csv:
         from repro.io import activities_to_csv
 
-        n = activities_to_csv(args.csv, analysis.activities)
+        n = activities_to_csv(args.csv, analysis.table)
         print(f"csv: {n} rows -> {args.csv}")
         did = True
     if args.npz:
@@ -231,7 +231,7 @@ def cmd_export(args) -> int:
         )
         n = export_chrome_trace(
             args.chrome,
-            analysis.activities,
+            analysis.table,
             meta,
             timeline=timeline,
             ncpus=analysis.ncpus,
@@ -306,9 +306,10 @@ def cmd_timeline(args) -> int:
     if args.window:
         begin, end = (parse_duration(part) for part in args.window.split(":"))
         t0, t1 = analysis.start_ts + begin, analysis.start_ts + end
-    activities = [
-        a for a in analysis.activities if args.all_events or a.is_noise
-    ]
+    table = analysis.table
+    activities = table.rows(
+        None if args.all_events else table.data["is_noise"]
+    )
     print(render_ascii_trace(
         activities, t0, t1, analysis.ncpus, width=args.width
     ))

@@ -1,8 +1,12 @@
 """The paper's contribution: quantitative per-event OS noise analysis."""
 
-from repro.core.analysis import NoiseAnalysis
+from repro.core.analysis import NoiseAnalysis, binned_noise_ns
 from repro.core.chart import SyntheticNoiseChart, build_interruptions
-from repro.core.classify import classify_activities, noise_activities
+from repro.core.classify import (
+    classify_activities,
+    classify_table,
+    noise_activities,
+)
 from repro.core.cluster import ClusterStudy, NodeRun
 from repro.core.compare import FtqComparison, compare_ftq
 from repro.core.disambiguate import (
@@ -16,17 +20,26 @@ from repro.core.histogram import (
     Histogram,
     duration_histogram,
     spread_ratio,
+    table_histogram,
     tail_index,
 )
 from repro.core.model import (
     Activity,
+    ActivityTable,
     BREAKDOWN_CATEGORIES,
+    CATEGORY_CODE,
+    CATEGORY_ORDER,
     Interruption,
     NoiseCategory,
     PREEMPT_EVENT,
     TraceMeta,
 )
-from repro.core.nesting import build_activities, build_preemptions
+from repro.core.nesting import (
+    build_activities,
+    build_activity_table,
+    build_preemption_table,
+    build_preemptions,
+)
 from repro.core.noise_model import (
     NoiseProfile,
     NoiseSource,
@@ -56,9 +69,11 @@ from repro.core.scalability import (
 
 __all__ = [
     "NoiseAnalysis",
+    "binned_noise_ns",
     "SyntheticNoiseChart",
     "build_interruptions",
     "classify_activities",
+    "classify_table",
     "noise_activities",
     "ClusterStudy",
     "NodeRun",
@@ -72,14 +87,20 @@ __all__ = [
     "Histogram",
     "duration_histogram",
     "spread_ratio",
+    "table_histogram",
     "tail_index",
     "Activity",
+    "ActivityTable",
     "BREAKDOWN_CATEGORIES",
+    "CATEGORY_CODE",
+    "CATEGORY_ORDER",
     "Interruption",
     "NoiseCategory",
     "PREEMPT_EVENT",
     "TraceMeta",
     "build_activities",
+    "build_activity_table",
+    "build_preemption_table",
     "build_preemptions",
     "StateInterval",
     "TaskTimeline",

@@ -9,23 +9,38 @@ answers the questions the paper's tables and figures ask:
 * duration arrays for histograms (Figures 4, 6, 8);
 * per-quantum noise timelines (the synthetic chart / FTQ comparison);
 * raw activity access for traces and filters.
+
+Everything is computed from one columnar :class:`ActivityTable`
+(``analysis.table``) with masked numpy reductions; ``analysis.activities``
+is the lazily materialized object view for list-shaped consumers.
+
+Noise totals (:meth:`NoiseAnalysis.total_noise_ns`,
+:meth:`~NoiseAnalysis.breakdown_ns`, :meth:`~NoiseAnalysis.noise_fraction`,
+:meth:`~NoiseAnalysis.per_cpu_noise_ns`) all agree on the CPU universe:
+activities referencing ``cpu >= ncpus`` are excluded everywhere (with a
+``RuntimeWarning`` at construction), so the noise fraction's numerator sums
+exactly the CPUs its ``span_ns * ncpus`` denominator covers.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.classify import classify_activities, noise_activities
+from repro.core.classify import classify_table
 from repro.core.model import (
     Activity,
+    ActivityTable,
     BREAKDOWN_CATEGORIES,
+    CATEGORY_CODE,
+    CATEGORY_ORDER,
     NoiseCategory,
     PREEMPT_EVENT,
     TraceMeta,
 )
-from repro.core.nesting import build_activities, build_preemptions
+from repro.core.nesting import build_activity_table, build_preemption_table
 from repro.tracing.ctf import Trace
 from repro.tracing.events import NAME_TO_EVENT, RECORD_DTYPE
 from repro.util.stats import DurationStats, describe_durations
@@ -33,6 +48,52 @@ from repro.util.units import SEC
 
 #: Name accepted for the scheduler-derived pseudo event.
 PREEMPT_NAME = "preemption"
+
+
+def binned_noise_ns(
+    table: ActivityTable,
+    quantum_ns: int,
+    t0: int,
+    t1: int,
+    cpu: Optional[int] = None,
+) -> np.ndarray:
+    """Noise nanoseconds per quantum over ``[t0, t1)``.
+
+    Each noise activity's self time is distributed proportionally over its
+    wall interval (density ``self_ns / total_ns``), then binned with one
+    ``np.add.at`` over the expanded (activity, quantum) segments.  The
+    accumulation runs activity-major in table order, matching the reference
+    double loop bit for bit.
+    """
+    if quantum_ns <= 0:
+        raise ValueError("quantum must be positive")
+    n = max(1, -(-(t1 - t0) // quantum_ns))
+    out = np.zeros(n, dtype=np.float64)
+    d = table.data
+    m = d["is_noise"] & (d["end"] > t0) & (d["start"] < t1)
+    if cpu is not None:
+        m &= d["cpu"] == cpu
+    if not m.any():
+        return out
+    starts = d["start"][m]
+    ends = d["end"][m]
+    density = d["self_ns"][m] / np.maximum(d["total_ns"][m], 1)
+    first = np.maximum(0, (starts - t0) // quantum_ns)
+    last = np.minimum(n - 1, (ends - 1 - t0) // quantum_ns)
+    k = np.maximum(0, last - first + 1)
+    total = int(k.sum())
+    if total == 0:
+        return out
+    idx = np.repeat(np.arange(len(k)), k)
+    run_base = np.repeat(np.cumsum(k) - k, k)
+    q = first[idx] + (np.arange(total) - run_base)
+    q_begin = t0 + q * quantum_ns
+    overlap = np.minimum(ends[idx], q_begin + quantum_ns) - np.maximum(
+        starts[idx], q_begin
+    )
+    np.maximum(overlap, 0, out=overlap)
+    np.add.at(out, q, overlap * density[idx])
+    return out
 
 
 class NoiseAnalysis:
@@ -63,14 +124,38 @@ class NoiseAnalysis:
         self.records = records
         self.meta = meta if meta is not None else TraceMeta()
 
-        kacts = build_activities(records, end_ts=self.end_ts)
-        preemptions = build_preemptions(
-            records, self.meta, end_ts=self.end_ts, kact_activities=kacts
+        kacts = build_activity_table(
+            records, end_ts=self.end_ts, meta=self.meta
         )
-        #: Every reconstructed activity, time-sorted, classified.
-        self.activities: List[Activity] = classify_activities(
+        preemptions = build_preemption_table(
+            records, self.meta, end_ts=self.end_ts, kact_table=kacts
+        )
+        #: Every reconstructed activity as one columnar table, time-sorted
+        #: and classified.
+        self.table: ActivityTable = classify_table(
             kacts, preemptions, self.meta
         )
+        out_of_range = int((self.table.data["cpu"] >= self.ncpus).sum())
+        if out_of_range:
+            warnings.warn(
+                f"{out_of_range} activities reference CPUs >= ncpus="
+                f"{self.ncpus}; they are excluded from noise totals",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._activities: Optional[List[Activity]] = None
+
+    @property
+    def activities(self) -> List[Activity]:
+        """Object view of the table (materialized lazily, then cached)."""
+        if self._activities is None:
+            self._activities = self.table.rows()
+        return self._activities
+
+    def _noise_mask(self) -> np.ndarray:
+        """Noise rows on CPUs the analysis covers (``cpu < ncpus``)."""
+        d = self.table.data
+        return d["is_noise"] & (d["cpu"] < self.ncpus)
 
     # ------------------------------------------------------------------
     # Selection
@@ -84,24 +169,18 @@ class NoiseAnalysis:
         include_truncated: bool = False,
     ) -> List[Activity]:
         """Filter activities; ``event`` accepts ids or kernel-style names."""
-        event_id = _resolve_event(event)
-        out = []
-        for act in self.activities:
-            if event_id is not None and act.event != event_id:
-                continue
-            if category is not None and act.category != category:
-                continue
-            if cpu is not None and act.cpu != cpu:
-                continue
-            if noise_only and not act.is_noise:
-                continue
-            if not include_truncated and act.truncated:
-                continue
-            out.append(act)
-        return out
+        return self.table.rows(
+            self.table.mask(
+                event=_resolve_event(event),
+                category=category,
+                cpu=cpu,
+                noise_only=noise_only,
+                include_truncated=include_truncated,
+            )
+        )
 
     def noise(self) -> List[Activity]:
-        return noise_activities(self.activities)
+        return self.table.rows(self.table.data["is_noise"])
 
     def durations(
         self,
@@ -110,8 +189,13 @@ class NoiseAnalysis:
         noise_only: bool = False,
     ) -> np.ndarray:
         """Self-time durations (ns) of one activity type, for histograms."""
-        acts = self.select(event=event, cpu=cpu, noise_only=noise_only)
-        return np.array([a.self_ns for a in acts], dtype=np.int64)
+        m = self.table.mask(
+            event=_resolve_event(event),
+            cpu=cpu,
+            noise_only=noise_only,
+            include_truncated=False,
+        )
+        return self.table.data["self_ns"][m].astype(np.int64)
 
     # ------------------------------------------------------------------
     # Tables (paper Tables I-VI shape)
@@ -127,16 +211,21 @@ class NoiseAnalysis:
 
     def stats_by_event(self, noise_only: bool = True) -> Dict[str, DurationStats]:
         """Stats for every activity type present in the trace."""
-        groups: Dict[str, List[int]] = {}
-        for act in self.activities:
-            if act.truncated:
-                continue
-            if noise_only and not act.is_noise:
-                continue
-            groups.setdefault(act.name, []).append(act.self_ns)
+        d = self.table.data
+        m = ~d["truncated"]
+        if noise_only:
+            m = m & d["is_noise"]
+        names = self.table.names()[m]
+        self_ns = d["self_ns"][m]
+        if not len(names):
+            return {}
+        uniq, inv = np.unique(names, return_inverse=True)
+        order = np.argsort(inv, kind="stable")
+        counts = np.bincount(inv, minlength=len(uniq))
+        chunks = np.split(self_ns[order], np.cumsum(counts)[:-1])
         return {
             name: describe_durations(values, self.span_ns, cpus=self.ncpus)
-            for name, values in sorted(groups.items())
+            for name, values in zip(uniq.tolist(), chunks)
         }
 
     # ------------------------------------------------------------------
@@ -144,10 +233,18 @@ class NoiseAnalysis:
     # ------------------------------------------------------------------
     def breakdown_ns(self) -> Dict[NoiseCategory, int]:
         """Total noise self-time per category (truncated included)."""
-        totals: Dict[NoiseCategory, int] = {c: 0 for c in BREAKDOWN_CATEGORIES}
-        for act in self.activities:
-            if act.is_noise:
-                totals[act.category] = totals.get(act.category, 0) + act.self_ns
+        d = self.table.data
+        m = self._noise_mask()
+        codes = d["category"][m]
+        acc = np.zeros(len(CATEGORY_ORDER), dtype=np.int64)
+        np.add.at(acc, codes, d["self_ns"][m])
+        totals: Dict[NoiseCategory, int] = {
+            c: int(acc[CATEGORY_CODE[c]]) for c in BREAKDOWN_CATEGORIES
+        }
+        # Non-breakdown categories appear as keys when present, even with a
+        # zero total, matching the object path.
+        for code in np.unique(codes).tolist():
+            totals[CATEGORY_ORDER[code]] = int(acc[code])
         return totals
 
     def breakdown_fractions(self) -> Dict[NoiseCategory, float]:
@@ -158,29 +255,42 @@ class NoiseAnalysis:
         return {c: v / grand for c, v in totals.items()}
 
     def total_noise_ns(self) -> int:
-        return sum(a.self_ns for a in self.activities if a.is_noise)
+        return int(self.table.data["self_ns"][self._noise_mask()].sum())
 
     def noise_fraction(self) -> float:
-        """Noise time as a fraction of total CPU time observed."""
+        """Noise time as a fraction of total CPU time observed.
+
+        Numerator and denominator cover the same universe: noise on the
+        ``ncpus`` CPUs of the trace over ``span_ns`` (activities on CPUs
+        beyond ``ncpus`` are excluded, matching :meth:`per_cpu_noise_ns`).
+        """
         return self.total_noise_ns() / (self.span_ns * self.ncpus)
 
     def per_cpu_noise_ns(self) -> np.ndarray:
         """Total noise per CPU — where the jitter actually lands."""
+        d = self.table.data
+        m = self._noise_mask()
         out = np.zeros(self.ncpus, dtype=np.int64)
-        for act in self.activities:
-            if act.is_noise and act.cpu < self.ncpus:
-                out[act.cpu] += act.self_ns
+        np.add.at(out, d["cpu"][m], d["self_ns"][m])
         return out
 
     def per_cpu_breakdown(self) -> "Dict[int, Dict[NoiseCategory, int]]":
         """Per-CPU category totals (noise only)."""
+        d = self.table.data
+        m = self._noise_mask()
+        cpus = d["cpu"][m]
+        codes = d["category"][m]
+        acc = np.zeros((self.ncpus, len(CATEGORY_ORDER)), dtype=np.int64)
+        np.add.at(acc, (cpus, codes), d["self_ns"][m])
         out: Dict[int, Dict[NoiseCategory, int]] = {
-            cpu: {c: 0 for c in BREAKDOWN_CATEGORIES} for cpu in range(self.ncpus)
+            cpu: {c: 0 for c in BREAKDOWN_CATEGORIES}
+            for cpu in range(self.ncpus)
         }
-        for act in self.activities:
-            if act.is_noise and act.cpu < self.ncpus:
-                per_cpu = out[act.cpu]
-                per_cpu[act.category] = per_cpu.get(act.category, 0) + act.self_ns
+        if len(cpus):
+            pair = cpus.astype(np.int64) * len(CATEGORY_ORDER) + codes
+            for key in np.unique(pair).tolist():
+                cpu, code = divmod(key, len(CATEGORY_ORDER))
+                out[cpu][CATEGORY_ORDER[code]] = int(acc[cpu, code])
         return out
 
     def noise_imbalance(self) -> float:
@@ -226,26 +336,9 @@ class NoiseAnalysis:
         wall interval, then binned; exact for the (typical) activity that
         fits inside one quantum.
         """
-        if quantum_ns <= 0:
-            raise ValueError("quantum must be positive")
         t0 = self.start_ts if t0 is None else t0
         t1 = self.end_ts if t1 is None else t1
-        n = max(1, -(-(t1 - t0) // quantum_ns))
-        out = np.zeros(n, dtype=np.float64)
-        for act in self.activities:
-            if not act.is_noise or act.end <= t0 or act.start >= t1:
-                continue
-            if cpu is not None and act.cpu != cpu:
-                continue
-            total = act.total_ns if act.total_ns > 0 else 1
-            density = act.self_ns / total
-            first = max(0, (act.start - t0) // quantum_ns)
-            last = min(n - 1, (act.end - 1 - t0) // quantum_ns)
-            for q in range(first, last + 1):
-                q_begin = t0 + q * quantum_ns
-                q_end = q_begin + quantum_ns
-                out[q] += act.overlap(q_begin, q_end) * density
-        return out
+        return binned_noise_ns(self.table, quantum_ns, t0, t1, cpu=cpu)
 
     def user_time_cumulative(self, cpu: int, t0: int, t1: int) -> "np.ndarray":
         """Breakpoints of cumulative *user* time on a CPU — FTQ's ruler.
@@ -253,14 +346,17 @@ class NoiseAnalysis:
         Returns an array of ``(wall_ts, user_ns)`` rows at every kernel
         activity boundary on the CPU, suitable for interpolation.
         """
-        marks: List[tuple] = []
-        for act in self.activities:
-            if act.cpu != cpu or act.depth != 0:
-                continue
-            if act.end <= t0 or act.start >= t1:
-                continue
-            marks.append((max(act.start, t0), min(act.end, t1)))
-        marks.sort()
+        d = self.table.data
+        m = (
+            (d["cpu"] == cpu)
+            & (d["depth"] == 0)
+            & (d["end"] > t0)
+            & (d["start"] < t1)
+        )
+        begins = np.maximum(d["start"][m], t0)
+        ends = np.minimum(d["end"][m], t1)
+        order = np.lexsort((ends, begins))
+        marks = list(zip(begins[order].tolist(), ends[order].tolist()))
         # Merge overlaps (a tick nested inside a preemption window produces
         # two overlapping depth-0 intervals).
         merged: List[tuple] = []

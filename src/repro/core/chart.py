@@ -9,16 +9,16 @@ interruption.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.analysis import NoiseAnalysis
-from repro.core.model import Activity, Interruption
+from repro.core.model import Activity, ActivityTable, Interruption
 
 
 def build_interruptions(
-    activities: Sequence[Activity],
+    activities: Union[ActivityTable, Sequence[Activity]],
     merge_gap_ns: int = 300,
     cpu: Optional[int] = None,
     noise_only: bool = True,
@@ -30,9 +30,17 @@ def build_interruptions(
     ``run_timer_softirq`` it triggers, the two halves of ``schedule()`` and
     the daemon burst in between are back-to-back and form one interruption,
     exactly as FTQ perceives them.
+
+    Accepts an :class:`ActivityTable` (grouping runs columnar: a per-CPU
+    running-max over end times finds group boundaries) or a plain activity
+    sequence.
     """
     if merge_gap_ns < 0:
         raise ValueError("merge gap must be non-negative")
+    if isinstance(activities, ActivityTable):
+        return _build_interruptions_table(
+            activities, merge_gap_ns, cpu, noise_only
+        )
     per_cpu: Dict[int, List[Activity]] = {}
     for act in activities:
         if noise_only and not act.is_noise:
@@ -57,6 +65,56 @@ def build_interruptions(
     return out
 
 
+def _build_interruptions_table(
+    table: ActivityTable,
+    merge_gap_ns: int,
+    cpu: Optional[int],
+    noise_only: bool,
+) -> List[Interruption]:
+    m = np.ones(len(table), dtype=bool)
+    if noise_only:
+        m &= table.data["is_noise"]
+    if cpu is not None:
+        m &= table.data["cpu"] == cpu
+    sub = table.take(m)
+    if not len(sub):
+        return []
+    # Per-CPU segments ordered by (start, depth), as the object path sorts.
+    d = sub.data
+    order = np.lexsort((d["depth"], d["start"], d["cpu"]))
+    sub = sub.take(order)
+    d = sub.data
+    cpus = d["cpu"]
+    starts = d["start"].astype(np.int64)
+    ends = d["end"].astype(np.int64)
+    # Running max of end times, restarted at each CPU segment.
+    cummax = np.empty(len(ends), dtype=np.int64)
+    seg_heads = np.flatnonzero(
+        np.concatenate([[True], cpus[1:] != cpus[:-1]])
+    )
+    for s, e in zip(seg_heads, np.append(seg_heads[1:], len(ends))):
+        cummax[s:e] = np.maximum.accumulate(ends[s:e])
+    new_group = np.ones(len(d), dtype=bool)
+    new_group[1:] = (starts[1:] > cummax[:-1] + merge_gap_ns) | (
+        cpus[1:] != cpus[:-1]
+    )
+    heads = np.flatnonzero(new_group)
+    group_end = np.maximum.reduceat(ends, heads)
+    rows = sub.rows()
+    bounds = np.append(heads, len(rows))
+    out = [
+        Interruption(
+            cpu=int(cpus[heads[g]]),
+            start=int(starts[heads[g]]),
+            end=int(group_end[g]),
+            activities=rows[bounds[g] : bounds[g + 1]],
+        )
+        for g in range(len(heads))
+    ]
+    out.sort(key=lambda g: (g.start, g.cpu))
+    return out
+
+
 class SyntheticNoiseChart:
     """The per-interruption noise chart for one CPU (or the whole node)."""
 
@@ -72,8 +130,9 @@ class SyntheticNoiseChart:
         indirect tool like FTQ perceives but the noise accounting excludes."""
         self.analysis = analysis
         self.cpu = cpu
+        source = getattr(analysis, "table", None)
         self.interruptions = build_interruptions(
-            analysis.activities,
+            source if source is not None else analysis.activities,
             merge_gap_ns=merge_gap_ns,
             cpu=cpu,
             noise_only=noise_only,

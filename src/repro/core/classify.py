@@ -12,20 +12,31 @@ The runnable test per activity:
 * context pid is an application rank → the rank was on-CPU, hence runnable;
 * context pid is a daemon → noise only if the daemon had displaced a
   runnable rank (the preemption windows computed by
-  :func:`repro.core.nesting.build_preemptions` know this);
+  :func:`repro.core.nesting.build_preemption_table` know this);
 * context pid is idle → no application was runnable on that CPU → not noise.
 
 Activities of the tracer's own collection daemon are excluded entirely
 (paper footnote 4).
+
+Classification is columnar: categories come from an event-id lookup table,
+the context kind from one ``np.unique`` pass over pids, and the
+displaced-rank test from a per-CPU ``searchsorted`` against the preemption
+windows.  :func:`classify_activities` remains the object-path wrapper: it
+mutates the given ``Activity`` objects in place and returns them merged and
+time-sorted, exactly as before.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Dict, List, Tuple
+from typing import List
+
+import numpy as np
 
 from repro.core.model import (
     Activity,
+    ActivityTable,
+    CATEGORY_CODE,
+    CATEGORY_ORDER,
     EVENT_CATEGORY,
     NoiseCategory,
     PREEMPT_EVENT,
@@ -34,72 +45,118 @@ from repro.core.model import (
 )
 from repro.simkernel.task import TaskKind
 
+#: event id -> category code (covers the full u2 event-id space).
+_CATEGORY_LUT = np.full(
+    65536, CATEGORY_CODE[NoiseCategory.OTHER], dtype=np.int8
+)
+for _ev, _cat in EVENT_CATEGORY.items():
+    _CATEGORY_LUT[int(_ev)] = CATEGORY_CODE[_cat]
+
+_SERVICE = CATEGORY_CODE[NoiseCategory.SERVICE]
+_TRACER = CATEGORY_CODE[NoiseCategory.TRACER]
+
+
+def classify_table(
+    kacts: ActivityTable,
+    preemptions: ActivityTable,
+    meta: TraceMeta,
+) -> ActivityTable:
+    """Assign categories and noise flags on both tables in place; returns
+    one merged, time-sorted table."""
+    _classify_inplace(kacts, preemptions, meta)
+    merged = np.concatenate([kacts.data, preemptions.data])
+    order = np.lexsort((merged["depth"], merged["cpu"], merged["start"]))
+    return ActivityTable(merged[order], meta=meta)
+
+
+def _classify_inplace(
+    kacts: ActivityTable, preemptions: ActivityTable, meta: TraceMeta
+) -> None:
+    kd = kacts.data
+    pd = preemptions.data
+
+    # Preemption windows: category from the pseudo event id; noise unless
+    # caused by the tracer daemon or nobody was displaced.
+    pd["category"] = _CATEGORY_LUT[pd["event"]]
+    pd["is_noise"] = (pd["event"] == PREEMPT_EVENT) & (
+        pd["displaced_pid"] >= 0
+    )
+
+    if not len(kd):
+        return
+    kd["category"] = _CATEGORY_LUT[kd["event"]]
+    cats = kd["category"]
+    eligible = (cats != _SERVICE) & (cats != _TRACER)
+
+    # Context kind per pid (one meta lookup per distinct pid).
+    uniq, inv = np.unique(kd["pid"], return_inverse=True)
+    kind_by_pid = np.array(
+        [int(meta.kind_of(int(p))) for p in uniq], dtype=np.int8
+    )
+    kinds = kind_by_pid[inv]
+    is_rank = kinds == int(TaskKind.RANK)
+    is_idle = kinds == int(TaskKind.IDLE)
+
+    noise = eligible & is_rank
+    daemon_rows = np.flatnonzero(eligible & ~is_rank & ~is_idle)
+    if len(daemon_rows) and len(pd):
+        # Daemon context: noise only if the daemon displaced a runnable
+        # rank — then this activity delays that rank too.  The covering
+        # window is the last one starting at or before the activity.
+        wmask = (pd["event"] == PREEMPT_EVENT) | (
+            pd["event"] == TRACER_PREEMPT_EVENT
+        )
+        for cpu in np.unique(kd["cpu"][daemon_rows]):
+            wsel = wmask & (pd["cpu"] == cpu)
+            if not wsel.any():
+                continue
+            ws = pd["start"][wsel]
+            worder = np.argsort(ws, kind="stable")
+            ws = ws[worder]
+            we = pd["end"][wsel][worder]
+            wdisp = pd["displaced_pid"][wsel][worder]
+            rows = daemon_rows[kd["cpu"][daemon_rows] == cpu]
+            starts = kd["start"][rows]
+            idx = np.searchsorted(ws, starts, side="right") - 1
+            ok = idx >= 0
+            hit = np.zeros(len(rows), dtype=bool)
+            hit[ok] = (we[idx[ok]] > starts[ok]) & (wdisp[idx[ok]] >= 0)
+            noise[rows[hit]] = True
+    kd["is_noise"] = noise
+
 
 def classify_activities(
     kacts: List[Activity],
     preemptions: List[Activity],
     meta: TraceMeta,
 ) -> List[Activity]:
-    """Assign categories and noise flags in place; returns all activities
-    merged and time-sorted."""
-    windows = _preemption_index(preemptions)
-
-    for act in kacts:
-        act.category = EVENT_CATEGORY.get(act.event, NoiseCategory.OTHER)
-        act.is_noise = _kact_is_noise(act, meta, windows)
-
-    for window in preemptions:
-        window.category = EVENT_CATEGORY.get(window.event, NoiseCategory.OTHER)
-        window.is_noise = (
-            window.event == PREEMPT_EVENT and window.displaced_pid is not None
-        )
-
+    """Object-path wrapper: assign categories and noise flags in place;
+    returns all activities merged and time-sorted."""
+    kt = ActivityTable.from_rows(kacts, meta=meta)
+    pt = ActivityTable.from_rows(preemptions, meta=meta)
+    _classify_inplace(kt, pt, meta)
+    for act, code, flag in zip(
+        kacts,
+        kt.data["category"].tolist(),
+        kt.data["is_noise"].tolist(),
+    ):
+        act.category = CATEGORY_ORDER[code]
+        act.is_noise = flag
+    for window, code, flag in zip(
+        preemptions,
+        pt.data["category"].tolist(),
+        pt.data["is_noise"].tolist(),
+    ):
+        window.category = CATEGORY_ORDER[code]
+        window.is_noise = flag
     merged = kacts + preemptions
     merged.sort(key=lambda a: (a.start, a.cpu, a.depth))
     return merged
 
 
-def _preemption_index(
-    preemptions: List[Activity],
-) -> Dict[int, Tuple[List[int], List[Activity]]]:
-    """Per-CPU sorted (starts, windows) for displaced-rank lookups."""
-    by_cpu: Dict[int, List[Activity]] = {}
-    for window in preemptions:
-        if window.event in (PREEMPT_EVENT, TRACER_PREEMPT_EVENT):
-            by_cpu.setdefault(window.cpu, []).append(window)
-    index: Dict[int, Tuple[List[int], List[Activity]]] = {}
-    for cpu, windows in by_cpu.items():
-        windows.sort(key=lambda w: w.start)
-        index[cpu] = ([w.start for w in windows], windows)
-    return index
-
-
-def _kact_is_noise(
-    act: Activity,
-    meta: TraceMeta,
-    windows: Dict[int, Tuple[List[int], List[Activity]]],
-) -> bool:
-    category = act.category
-    if category in (NoiseCategory.SERVICE, NoiseCategory.TRACER):
-        return False
-    kind = meta.kind_of(act.pid)
-    if kind == TaskKind.RANK:
-        # The interrupted application process was on-CPU: runnable.
-        return True
-    if kind == TaskKind.IDLE:
-        # No application wanted this CPU (blocked on comm/I-O): not noise.
-        return False
-    # Daemon context: noise only if the daemon displaced a runnable rank —
-    # then this activity delays that rank too.
-    entry = windows.get(act.cpu)
-    if entry is None:
-        return False
-    starts, cpu_windows = entry
-    idx = bisect.bisect_right(starts, act.start) - 1
-    if idx < 0:
-        return False
-    window = cpu_windows[idx]
-    return window.end > act.start and window.displaced_pid is not None
+def noise_mask(table: ActivityTable) -> np.ndarray:
+    """Boolean mask of the rows classified as noise."""
+    return table.data["is_noise"].copy()
 
 
 def noise_activities(activities: List[Activity]) -> List[Activity]:

@@ -50,14 +50,18 @@ def find_ambiguous_pairs(
     different compositions — the cases indirect tools cannot distinguish."""
     if tolerance_ns < 0:
         raise ValueError("tolerance must be non-negative")
-    by_duration = sorted(interruptions, key=lambda g: g.noise_ns)
+    # noise_ns is a sum over component activities — compute it once per
+    # interruption instead of on every comparison in the scan below.
+    by_duration = sorted(
+        ((g.noise_ns, g) for g in interruptions), key=lambda pair: pair[0]
+    )
     pairs: List[AmbiguousPair] = []
     for i in range(len(by_duration) - 1):
-        a = by_duration[i]
+        noise_a, a = by_duration[i]
         j = i + 1
         while j < len(by_duration):
-            b = by_duration[j]
-            if b.noise_ns - a.noise_ns > tolerance_ns:
+            noise_b, b = by_duration[j]
+            if noise_b - noise_a > tolerance_ns:
                 break
             if not require_different_signature or _signatures_differ(a, b):
                 pairs.append(AmbiguousPair(a, b))

@@ -7,13 +7,21 @@ paper's key accounting subtlety lives here: activities *nest* (an interrupt
 during an exception handler), so each activity has both a **total** duration
 (wall time from entry to exit) and a **self** duration (total minus nested
 children).  Statistics use self time so nothing is double counted.
+
+The analysis pipeline stores activities columnar: :class:`ActivityTable` is
+one numpy structured array built once per trace and queried with masks.
+The :class:`Activity` dataclass survives as a per-row view (materialized
+lazily via :meth:`ActivityTable.rows`) so object-shaped consumers keep
+working unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.simkernel.task import TaskKind
 from repro.tracing.events import Ev, event_name
@@ -65,6 +73,32 @@ BREAKDOWN_CATEGORIES: Tuple[NoiseCategory, ...] = (
     NoiseCategory.IO,
 )
 
+#: Stable integer codes for the ``category`` column of an ActivityTable.
+CATEGORY_ORDER: Tuple[NoiseCategory, ...] = tuple(NoiseCategory)
+CATEGORY_CODE: Dict[NoiseCategory, int] = {
+    c: i for i, c in enumerate(CATEGORY_ORDER)
+}
+
+#: Column layout of the columnar activity store.  ``displaced_pid`` uses -1
+#: as the "not a preemption window" sentinel (the dataclass shows None).
+ACTIVITY_DTYPE = np.dtype(
+    [
+        ("event", "<i4"),
+        ("cpu", "<i4"),
+        ("pid", "<i4"),
+        ("start", "<i8"),
+        ("end", "<i8"),
+        ("total_ns", "<i8"),
+        ("self_ns", "<i8"),
+        ("depth", "<i4"),
+        ("arg", "<u8"),
+        ("category", "i1"),
+        ("is_noise", "?"),
+        ("truncated", "?"),
+        ("displaced_pid", "<i8"),
+    ]
+)
+
 
 @dataclass
 class Activity:
@@ -95,6 +129,176 @@ class Activity:
     def overlap(self, begin: int, end: int) -> int:
         """Wall-clock overlap of this activity with a window, in ns."""
         return max(0, min(self.end, end) - max(self.start, begin))
+
+
+class ActivityTable:
+    """Columnar store of reconstructed activities: one structured array.
+
+    The analysis pipeline builds the table once per trace and answers every
+    query with column masks (``np.bincount`` / ``searchsorted`` /
+    ``np.add.at``) instead of iterating Python objects.  The
+    :class:`Activity` dataclass remains the compatibility view: ``rows()``
+    materializes (a masked subset of) the table as dataclass instances,
+    so list-shaped consumers keep working.
+
+    ``meta`` is kept so preemption pseudo-activities can resolve their
+    ``preempt:<daemon>`` display names.
+    """
+
+    __slots__ = ("data", "meta", "_names")
+
+    def __init__(
+        self, data: np.ndarray, meta: Optional["TraceMeta"] = None
+    ) -> None:
+        self.data = np.asarray(data, dtype=ACTIVITY_DTYPE)
+        self.meta = meta
+        self._names: Optional[np.ndarray] = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def empty(cls, meta: Optional["TraceMeta"] = None) -> "ActivityTable":
+        return cls(np.zeros(0, dtype=ACTIVITY_DTYPE), meta=meta)
+
+    @classmethod
+    def from_columns(
+        cls, n: int, meta: Optional["TraceMeta"] = None, **columns
+    ) -> "ActivityTable":
+        """Build a table from per-column sequences (missing columns get
+        their neutral defaults: category OTHER, displaced_pid -1)."""
+        data = np.zeros(n, dtype=ACTIVITY_DTYPE)
+        data["category"] = CATEGORY_CODE[NoiseCategory.OTHER]
+        data["displaced_pid"] = -1
+        for name, values in columns.items():
+            data[name] = values
+        return cls(data, meta=meta)
+
+    @classmethod
+    def from_rows(
+        cls,
+        activities: Sequence[Activity],
+        meta: Optional["TraceMeta"] = None,
+    ) -> "ActivityTable":
+        """Columnar form of an Activity list, preserving order."""
+        data = np.zeros(len(activities), dtype=ACTIVITY_DTYPE)
+        for i, a in enumerate(activities):
+            data[i] = (
+                a.event,
+                a.cpu,
+                a.pid,
+                a.start,
+                a.end,
+                a.total_ns,
+                a.self_ns,
+                a.depth,
+                a.arg,
+                CATEGORY_CODE[a.category],
+                a.is_noise,
+                a.truncated,
+                -1 if a.displaced_pid is None else a.displaced_pid,
+            )
+        return cls(data, meta=meta)
+
+    # -- column access ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getattr__(self, name: str) -> np.ndarray:
+        # Column views: table.start, table.self_ns, table.is_noise, ...
+        try:
+            return self.data[name]
+        except (KeyError, ValueError):
+            raise AttributeError(name) from None
+
+    def take(self, index: np.ndarray) -> "ActivityTable":
+        """Sub-table of the given indices or boolean mask."""
+        return ActivityTable(self.data[index], meta=self.meta)
+
+    def mask(
+        self,
+        event: Optional[int] = None,
+        category: Optional[NoiseCategory] = None,
+        cpu: Optional[int] = None,
+        noise_only: bool = False,
+        include_truncated: bool = True,
+    ) -> np.ndarray:
+        """Boolean row mask for the standard selection axes."""
+        m = np.ones(len(self.data), dtype=bool)
+        if event is not None:
+            m &= self.data["event"] == event
+        if category is not None:
+            m &= self.data["category"] == CATEGORY_CODE[category]
+        if cpu is not None:
+            m &= self.data["cpu"] == cpu
+        if noise_only:
+            m &= self.data["is_noise"]
+        if not include_truncated:
+            m &= ~self.data["truncated"]
+        return m
+
+    # -- row views -------------------------------------------------------
+    def names(self) -> np.ndarray:
+        """Display name per row (object array, cached).
+
+        Paired kernel activities map through :func:`event_name`;
+        preemption pseudo-activities render as ``preempt:<daemon name>``
+        using the attached :class:`TraceMeta`.
+        """
+        if self._names is None:
+            events = self.data["event"]
+            uniq, inv = np.unique(events, return_inverse=True)
+            base = np.array(
+                [event_name(int(e)) for e in uniq], dtype=object
+            )
+            names = base[inv] if len(uniq) else np.zeros(0, dtype=object)
+            pm = (events == PREEMPT_EVENT) | (events == TRACER_PREEMPT_EVENT)
+            if pm.any():
+                meta = self.meta if self.meta is not None else TraceMeta()
+                pids = self.data["pid"][pm].tolist()
+                cache: Dict[int, str] = {}
+                names[np.flatnonzero(pm)] = [
+                    cache.get(p) or cache.setdefault(
+                        p, f"preempt:{meta.name_of(p)}"
+                    )
+                    for p in pids
+                ]
+            self._names = names
+        return self._names
+
+    def rows(self, mask: Optional[np.ndarray] = None) -> List[Activity]:
+        """Materialize (a masked subset of) the table as Activity objects."""
+        data = self.data if mask is None else self.data[mask]
+        names = self.names() if mask is None else self.names()[mask]
+        cats = CATEGORY_ORDER
+        out: List[Activity] = []
+        for i, (
+            event, cpu, pid, start, end, total, self_ns, depth, arg,
+            code, is_noise, truncated, displaced,
+        ) in enumerate(data.tolist()):
+            out.append(
+                Activity(
+                    event=event,
+                    name=names[i],
+                    cpu=cpu,
+                    pid=pid,
+                    start=start,
+                    end=end,
+                    total_ns=total,
+                    self_ns=self_ns,
+                    depth=depth,
+                    arg=arg,
+                    displaced_pid=None if displaced < 0 else displaced,
+                    truncated=truncated,
+                    category=cats[code],
+                    is_noise=is_noise,
+                )
+            )
+        return out
+
+    def row(self, i: int) -> Activity:
+        return self.rows(np.asarray([i]))[0]
+
+    def __iter__(self) -> Iterator[Activity]:
+        return iter(self.rows())
 
 
 @dataclass

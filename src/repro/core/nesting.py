@@ -2,27 +2,35 @@
 
 Two reconstruction passes over the record stream:
 
-1. **Paired activities** (:func:`build_activities`): a per-CPU stack matches
-   ENTRY/EXIT records, attributing *self time* (total minus nested children)
-   to every activity.  "We took particular care of nested events ...
-   handling nested events is particularly important for obtaining correct
-   statistics" — this is that care.
+1. **Paired activities** (:func:`build_activity_table`): a per-CPU stack
+   matches ENTRY/EXIT records, attributing *self time* (total minus nested
+   children) to every activity.  "We took particular care of nested events
+   ... handling nested events is particularly important for obtaining
+   correct statistics" — this is that care.
 
-2. **Preemption windows** (:func:`build_preemptions`): scheduler point
+2. **Preemption windows** (:func:`build_preemption_table`): scheduler point
    events (``sched_switch`` / ``task_state``) are folded into pseudo
    activities covering every interval in which a daemon held a CPU while a
    displaced application rank was runnable.  Their self time likewise
    excludes kernel activities nested inside the window.
+
+Both passes are columnar: the (inherently sequential) stack walk runs over
+plain Python lists extracted from the record array and writes per-column
+buffers that become one :class:`~repro.core.model.ActivityTable`; nested
+time subtraction is a ``searchsorted`` + prefix-sum over the sorted depth-0
+intervals.  :func:`build_activities` / :func:`build_preemptions` remain as
+object-path compatibility wrappers returning ``Activity`` lists.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.model import (
     Activity,
+    ActivityTable,
     PREEMPT_EVENT,
     TRACER_PREEMPT_EVENT,
     TraceMeta,
@@ -30,31 +38,19 @@ from repro.core.model import (
 from repro.simkernel.task import TaskKind, TaskState
 from repro.tracing.events import (
     Ev,
+    FIRST_POINT_EVENT,
     Flag,
-    decode_switch,
-    decode_task_state,
     event_name,
-    is_paired,
 )
 
 
-class _Open:
-    __slots__ = ("event", "start", "pid", "arg", "nested")
-
-    def __init__(self, event: int, start: int, pid: int, arg: int) -> None:
-        self.event = event
-        self.start = start
-        self.pid = pid
-        self.arg = arg
-        self.nested = 0
-
-
-def build_activities(
+def build_activity_table(
     records: np.ndarray,
     end_ts: Optional[int] = None,
     strict: bool = False,
-) -> List[Activity]:
-    """Reconstruct paired kernel activities from a record array.
+    meta: Optional[TraceMeta] = None,
+) -> ActivityTable:
+    """Reconstruct paired kernel activities into a columnar table.
 
     Parameters
     ----------
@@ -65,29 +61,204 @@ def build_activities(
         Trace end; open activities are truncated here and flagged.
     strict:
         Raise on unmatched EXIT records instead of skipping them.
+    meta:
+        Optional task metadata attached to the table (used for display
+        names of preemption rows once tables are merged).
     """
-    stacks: Dict[int, List[_Open]] = {}
-    activities: List[Activity] = []
+    if end_ts is None and len(records):
+        end_ts = int(records["time"].max())
 
-    times = records["time"]
-    events = records["event"]
-    cpus = records["cpu"]
-    flags = records["flag"]
-    pids = records["pid"]
-    args = records["arg"]
+    paired = records["event"] < FIRST_POINT_EVENT
+    sel = records[paired]
+    table = _match_frames_vectorized(sel, end_ts, meta)
+    if table is None:
+        table = _match_frames_walk(sel, end_ts, strict, meta)
+    order = np.lexsort(
+        (table.data["depth"], table.data["cpu"], table.data["start"])
+    )
+    return table.take(order)
 
-    for i in range(len(records)):
-        event = int(events[i])
-        if not is_paired(event):
-            continue
-        cpu = int(cpus[i])
-        t = int(times[i])
-        flag = int(flags[i])
-        stack = stacks.setdefault(cpu, [])
-        if flag == Flag.ENTRY:
-            stack.append(_Open(event, t, int(pids[i]), int(args[i])))
-        elif flag == Flag.EXIT:
-            if not stack or stack[-1].event != event:
+
+def _match_frames_vectorized(
+    sel: np.ndarray, end_ts: Optional[int], meta: Optional[TraceMeta]
+) -> Optional[ActivityTable]:
+    """Branch-free ENTRY/EXIT matching for well-formed streams.
+
+    Within one CPU, tokens that share a frame depth strictly alternate
+    ENTRY, EXIT, ENTRY, ... — a frame at depth d must close before the next
+    frame at depth d can open — so matching reduces to a stable sort by
+    (cpu, frame depth) and pairing consecutive tokens.  Nested time is then
+    a searchsorted + prefix-sum of each depth level's children.
+
+    Returns ``None`` when the stream is not well formed (an EXIT with no
+    open frame, or one whose event does not match the frame it would
+    close); those traces take :func:`_match_frames_walk`, which implements
+    the skip/strict semantics.
+    """
+    n = len(sel)
+    if n == 0:
+        return ActivityTable.empty(meta=meta)
+    flag = sel["flag"]
+    is_entry = flag == int(Flag.ENTRY)
+    keep = is_entry | (flag == int(Flag.EXIT))
+    if not keep.all():
+        sel = sel[keep]
+        is_entry = is_entry[keep]
+        n = len(sel)
+        if n == 0:
+            return ActivityTable.empty(meta=meta)
+
+    # Stable sort by CPU: per-CPU streams are already in time order.
+    co = np.argsort(sel["cpu"], kind="stable")
+    cpu = sel["cpu"][co].astype(np.int64)
+    time_ = sel["time"][co].astype(np.int64)
+    event = sel["event"][co].astype(np.int64)
+    pid = sel["pid"][co].astype(np.int64)
+    arg = sel["arg"][co]
+    is_entry = is_entry[co]
+
+    # Running stack depth within each CPU segment.
+    new_seg = np.empty(n, dtype=bool)
+    new_seg[0] = True
+    np.not_equal(cpu[1:], cpu[:-1], out=new_seg[1:])
+    seg_heads = np.flatnonzero(new_seg)
+    depth_after = np.cumsum(np.where(is_entry, 1, -1))
+    base = np.zeros(len(seg_heads), dtype=np.int64)
+    base[1:] = depth_after[seg_heads[1:] - 1]
+    seg_len = np.diff(np.append(seg_heads, n))
+    depth_after = depth_after - np.repeat(base, seg_len)
+    if depth_after.min() < 0:
+        return None  # an EXIT with no open frame
+    fd = depth_after - is_entry  # frame depth: c-1 for ENTRY, c for EXIT
+
+    # Group by (cpu, frame depth); inside a group tokens must alternate
+    # ENTRY (even offset) / EXIT (odd offset), optionally ending on an
+    # ENTRY left open by the end of tracing.
+    stride = int(fd.max()) + 1
+    go = np.argsort(cpu * stride + fd, kind="stable")
+    key = (cpu * stride + fd)[go]
+    g_new = np.empty(n, dtype=bool)
+    g_new[0] = True
+    np.not_equal(key[1:], key[:-1], out=g_new[1:])
+    g_heads = np.flatnonzero(g_new)
+    g_len = np.diff(np.append(g_heads, n))
+    offset = np.arange(n) - np.repeat(g_heads, g_len)
+    even = offset % 2 == 0
+    if not np.array_equal(is_entry[go], even):
+        return None  # broken alternation: some EXIT was skipped
+    exits_g = np.flatnonzero(~even)
+    ent = go[exits_g - 1]
+    ex = go[exits_g]
+    if not np.array_equal(event[ent], event[ex]):
+        return None  # EXIT closing a different event's frame
+
+    # Closed frames, ordered like the walk's appends (EXIT-record order)
+    # so the final stable sort keeps identical tie order.
+    closed_order = np.argsort(co[ex], kind="stable")
+    ent = ent[closed_order]
+    ex = ex[closed_order]
+    cl_start = time_[ent]
+    cl_end = time_[ex]
+    cl_total = cl_end - cl_start
+    cl_cpu = cpu[ex]
+    cl_depth = fd[ex]
+
+    # Open frames: the unpaired trailing ENTRY of a (cpu, depth) group.
+    last_g = np.zeros(n, dtype=bool)
+    last_g[g_heads + g_len - 1] = True
+    tr = go[even & last_g]
+    tr = tr[np.lexsort((fd[tr], cpu[tr]))]
+    tr_start = time_[tr]
+    tr_total = np.maximum(0, int(end_ts) - tr_start)
+    tr_cpu = cpu[tr]
+    tr_depth = fd[tr]
+
+    # Nested time: each parent subtracts its direct children's totals.
+    # Only *closed* children count (the walk adds a child's total to its
+    # parent when the child pops; frames still open at end_ts never pop).
+    # An open frame at depth d owns every later closed frame at d+1.
+    nested_cl = np.zeros(len(ent), dtype=np.int64)
+    nested_tr = np.zeros(len(tr), dtype=np.int64)
+    for cpu_v in np.unique(cl_cpu).tolist():
+        cmask = cl_cpu == cpu_v
+        tmask = tr_cpu == cpu_v
+        for d in range(int(cl_depth[cmask].max())):
+            ch = np.flatnonzero(cmask & (cl_depth == d + 1))
+            if not len(ch):
+                continue
+            ch = ch[np.argsort(cl_start[ch], kind="stable")]
+            cs = cl_start[ch]
+            prefix = np.zeros(len(ch) + 1, dtype=np.int64)
+            np.cumsum(cl_total[ch], out=prefix[1:])
+            pm = np.flatnonzero(cmask & (cl_depth == d))
+            if len(pm):
+                lo = np.searchsorted(cs, cl_start[pm], side="left")
+                hi = np.searchsorted(cs, cl_end[pm], side="left")
+                nested_cl[pm] = prefix[hi] - prefix[lo]
+            tm = np.flatnonzero(tmask & (tr_depth == d))
+            if len(tm):
+                lo = np.searchsorted(cs, tr_start[tm], side="left")
+                nested_tr[tm] = prefix[-1] - prefix[lo]
+
+    n_cl = len(ent)
+    total_out = np.concatenate([cl_total, tr_total])
+    self_out = np.maximum(
+        0, total_out - np.concatenate([nested_cl, nested_tr])
+    )
+    trunc_out = np.zeros(len(total_out), dtype=bool)
+    trunc_out[n_cl:] = True
+    return ActivityTable.from_columns(
+        len(total_out),
+        meta=meta,
+        event=np.concatenate([event[ent], event[tr]]),
+        cpu=np.concatenate([cl_cpu, tr_cpu]),
+        pid=np.concatenate([pid[ent], pid[tr]]),
+        start=np.concatenate([cl_start, tr_start]),
+        end=np.concatenate(
+            [cl_end, np.full(len(tr), int(end_ts), dtype=np.int64)]
+        ),
+        total_ns=total_out,
+        self_ns=self_out,
+        depth=np.concatenate([cl_depth, tr_depth]),
+        arg=np.concatenate([arg[ent], arg[tr]]),
+        truncated=trunc_out,
+    )
+
+
+def _match_frames_walk(
+    sel: np.ndarray,
+    end_ts: Optional[int],
+    strict: bool,
+    meta: Optional[TraceMeta],
+) -> ActivityTable:
+    """Per-CPU stack walk over plain Python lists — the general path,
+    handling unmatched EXITs (skip, or raise under ``strict``)."""
+    times = sel["time"].tolist()
+    events = sel["event"].tolist()
+    cpus = sel["cpu"].tolist()
+    flags = sel["flag"].tolist()
+    pids = sel["pid"].tolist()
+    args = sel["arg"].tolist()
+
+    # One row tuple per closed activity; transposed into columns below.
+    rows: List[tuple] = []
+    emit = rows.append
+
+    # Per-CPU stacks of open frames: [event, start, pid, arg, nested_ns].
+    stacks: Dict[int, List[List[int]]] = {}
+    ENTRY = int(Flag.ENTRY)
+    EXIT = int(Flag.EXIT)
+
+    for t, event, cpu, flag, pid, arg in zip(
+        times, events, cpus, flags, pids, args
+    ):
+        stack = stacks.get(cpu)
+        if stack is None:
+            stack = stacks[cpu] = []
+        if flag == ENTRY:
+            stack.append([event, t, pid, arg, 0])
+        elif flag == EXIT:
+            if not stack or stack[-1][0] != event:
                 if strict:
                     raise ValueError(
                         f"unmatched EXIT for {event_name(event)} "
@@ -95,59 +266,66 @@ def build_activities(
                     )
                 continue
             frame = stack.pop()
-            total = t - frame.start
-            self_ns = total - frame.nested
+            start = frame[1]
+            total = t - start
+            self_ns = total - frame[4]
             if stack:
-                stack[-1].nested += total
-            activities.append(
-                Activity(
-                    event=frame.event,
-                    name=event_name(frame.event),
-                    cpu=cpu,
-                    pid=frame.pid,
-                    start=frame.start,
-                    end=t,
-                    total_ns=total,
-                    self_ns=max(0, self_ns),
-                    depth=len(stack),
-                    arg=frame.arg,
-                )
-            )
+                stack[-1][4] += total
+            emit((
+                event, cpu, frame[2], start, t, total,
+                self_ns if self_ns > 0 else 0, len(stack), frame[3], False,
+            ))
 
     # Truncate whatever the end of tracing interrupted.
-    if end_ts is None and len(records):
-        end_ts = int(times.max())
     for cpu, stack in stacks.items():
-        depth = 0
-        for frame in stack:
-            total = max(0, int(end_ts) - frame.start)
-            activities.append(
-                Activity(
-                    event=frame.event,
-                    name=event_name(frame.event),
-                    cpu=cpu,
-                    pid=frame.pid,
-                    start=frame.start,
-                    end=int(end_ts),
-                    total_ns=total,
-                    self_ns=max(0, total - frame.nested),
-                    depth=depth,
-                    arg=frame.arg,
-                    truncated=True,
-                )
-            )
-            depth += 1
+        for depth, frame in enumerate(stack):
+            total = int(end_ts) - frame[1]
+            if total < 0:
+                total = 0
+            self_ns = total - frame[4]
+            emit((
+                frame[0], cpu, frame[2], frame[1], int(end_ts), total,
+                self_ns if self_ns > 0 else 0, depth, frame[3], True,
+            ))
 
-    activities.sort(key=lambda a: (a.start, a.cpu, a.depth))
-    return activities
+    if rows:
+        (o_event, o_cpu, o_pid, o_start, o_end, o_total, o_self, o_depth,
+         o_arg, o_trunc) = zip(*rows)
+    else:
+        o_event = o_cpu = o_pid = o_start = o_end = ()
+        o_total = o_self = o_depth = o_arg = o_trunc = ()
+
+    return ActivityTable.from_columns(
+        len(rows),
+        meta=meta,
+        event=o_event,
+        cpu=o_cpu,
+        pid=o_pid,
+        start=o_start,
+        end=o_end,
+        total_ns=o_total,
+        self_ns=o_self,
+        depth=o_depth,
+        arg=o_arg,
+        truncated=o_trunc,
+    )
 
 
-def build_preemptions(
+def build_activities(
+    records: np.ndarray,
+    end_ts: Optional[int] = None,
+    strict: bool = False,
+) -> List[Activity]:
+    """Object-path wrapper: the columnar reconstruction as Activity list."""
+    return build_activity_table(records, end_ts=end_ts, strict=strict).rows()
+
+
+def build_preemption_table(
     records: np.ndarray,
     meta: TraceMeta,
     end_ts: Optional[int] = None,
-    kact_activities: Optional[List[Activity]] = None,
-) -> List[Activity]:
+    kact_table: Optional[ActivityTable] = None,
+) -> ActivityTable:
     """Derive preemption pseudo-activities from scheduler point events.
 
     A preemption window opens when a context switch installs a daemon on a
@@ -157,72 +335,82 @@ def build_preemptions(
     are tagged with :data:`TRACER_PREEMPT_EVENT` so the classifier can
     exclude them, as the paper does.
     """
-    times = records["time"]
-    events = records["event"]
-    cpus = records["cpu"]
-    pids_arr = records["pid"]
-    args = records["arg"]
+    if end_ts is None and len(records):
+        end_ts = int(records["time"].max())
 
-    order = np.argsort(times, kind="stable")
+    events_col = records["event"]
+    relevant = (events_col == int(Ev.TASK_STATE)) | (
+        events_col == int(Ev.SCHED_SWITCH)
+    )
+    sel = records[relevant]
+    order = np.argsort(sel["time"], kind="stable")
+    sel = sel[order]
+    times = sel["time"].tolist()
+    events = sel["event"].tolist()
+    cpus = sel["cpu"].tolist()
+    args = sel["arg"].tolist()
+
+    EV_STATE = int(Ev.TASK_STATE)
+    RUNNABLE = int(TaskState.RUNNABLE)
+    daemon_kinds = (TaskKind.KDAEMON, TaskKind.UDAEMON, TaskKind.TRACERD)
 
     state: Dict[int, int] = {}
-    # Per-CPU: (daemon_pid, window_start) of the open daemon segment.
-    open_seg: Dict[int, Tuple[int, int]] = {}
+    # Per-CPU: [daemon_pid, window_start] of the open daemon segment.
+    open_seg: Dict[int, List[int]] = {}
     displaced: Dict[int, Optional[int]] = {}
-    out: List[Activity] = []
-    if end_ts is None and len(records):
-        end_ts = int(times.max())
+    kind_of = meta.kind_of
+
+    o_event: List[int] = []
+    o_cpu: List[int] = []
+    o_pid: List[int] = []
+    o_start: List[int] = []
+    o_end: List[int] = []
+    o_total: List[int] = []
+    o_disp: List[int] = []
+    o_trunc: List[bool] = []
 
     def close_segment(cpu: int, t: int, truncated: bool = False) -> None:
         seg = open_seg.pop(cpu, None)
         if seg is None:
             return
-        daemon_pid, start = seg
         disp = displaced.get(cpu)
         if disp is None:
             return
+        daemon_pid, start = seg
         total = t - start
         if total <= 0:
             return
-        event = (
+        o_event.append(
             TRACER_PREEMPT_EVENT
-            if meta.kind_of(daemon_pid) == TaskKind.TRACERD
+            if kind_of(daemon_pid) == TaskKind.TRACERD
             else PREEMPT_EVENT
         )
-        out.append(
-            Activity(
-                event=event,
-                name=f"preempt:{meta.name_of(daemon_pid)}",
-                cpu=cpu,
-                pid=daemon_pid,
-                start=start,
-                end=t,
-                total_ns=total,
-                self_ns=total,  # nested kernel time subtracted below
-                displaced_pid=disp,
-                truncated=truncated,
-            )
-        )
+        o_cpu.append(cpu)
+        o_pid.append(daemon_pid)
+        o_start.append(start)
+        o_end.append(t)
+        o_total.append(total)
+        o_disp.append(disp)
+        o_trunc.append(truncated)
 
-    for i in order:
-        event = int(events[i])
-        if event == Ev.TASK_STATE:
-            pid, st = decode_task_state(int(args[i]))
-            state[pid] = st
-        elif event == Ev.SCHED_SWITCH:
-            cpu = int(cpus[i])
-            t = int(times[i])
-            prev_pid, next_pid = decode_switch(int(args[i]))
+    for i in range(len(times)):
+        if events[i] == EV_STATE:
+            arg = args[i]
+            state[arg >> 8] = arg & 0xFF
+        else:  # SCHED_SWITCH
+            cpu = cpus[i]
+            t = times[i]
+            arg = args[i]
+            prev_pid = arg >> 32
+            next_pid = arg & 0xFFFFFFFF
             close_segment(cpu, t)
-            prev_kind = meta.kind_of(prev_pid)
-            next_kind = meta.kind_of(next_pid)
             if (
-                prev_kind == TaskKind.RANK
-                and state.get(prev_pid) == TaskState.RUNNABLE
+                kind_of(prev_pid) == TaskKind.RANK
+                and state.get(prev_pid) == RUNNABLE
             ):
                 displaced[cpu] = prev_pid
-            if next_kind in (TaskKind.KDAEMON, TaskKind.UDAEMON, TaskKind.TRACERD):
-                open_seg[cpu] = (next_pid, t)
+            if kind_of(next_pid) in daemon_kinds:
+                open_seg[cpu] = [next_pid, t]
             else:
                 # A rank or idle took over: nobody is displaced anymore.
                 displaced[cpu] = None
@@ -230,35 +418,82 @@ def build_preemptions(
     for cpu in list(open_seg):
         close_segment(cpu, int(end_ts), truncated=True)
 
+    table = ActivityTable.from_columns(
+        len(o_event),
+        meta=meta,
+        event=o_event,
+        cpu=o_cpu,
+        pid=o_pid,
+        start=o_start,
+        end=o_end,
+        total_ns=o_total,
+        self_ns=o_total,  # nested kernel time subtracted below
+        displaced_pid=o_disp,
+        truncated=o_trunc,
+    )
+
     # Subtract nested kernel-activity time from each window's self time.
-    if kact_activities:
-        _subtract_nested(out, kact_activities)
+    if kact_table is not None and len(kact_table) and len(table):
+        _subtract_nested_table(table, kact_table)
 
-    out.sort(key=lambda a: (a.start, a.cpu))
-    return out
+    order = np.lexsort((table.data["cpu"], table.data["start"]))
+    return table.take(order)
 
 
-def _subtract_nested(
-    preemptions: List[Activity], kacts: List[Activity]
+def build_preemptions(
+    records: np.ndarray,
+    meta: TraceMeta,
+    end_ts: Optional[int] = None,
+    kact_activities: Optional[List[Activity]] = None,
+) -> List[Activity]:
+    """Object-path wrapper over :func:`build_preemption_table`."""
+    kact_table = (
+        ActivityTable.from_rows(kact_activities)
+        if kact_activities
+        else None
+    )
+    return build_preemption_table(
+        records, meta, end_ts=end_ts, kact_table=kact_table
+    ).rows()
+
+
+def _subtract_nested_table(
+    preemptions: ActivityTable, kacts: ActivityTable
 ) -> None:
-    """Remove depth-0 kernel-activity time nested inside preemption windows."""
-    by_cpu: Dict[int, List[Activity]] = {}
-    for act in kacts:
-        if act.depth == 0:
-            by_cpu.setdefault(act.cpu, []).append(act)
-    for acts in by_cpu.values():
-        acts.sort(key=lambda a: a.start)
-    for window in preemptions:
-        acts = by_cpu.get(window.cpu)
-        if not acts:
-            continue
-        nested = 0
-        # Linear scan over the window's span (activities are sorted).
-        import bisect
+    """Remove depth-0 kernel-activity time nested inside preemption windows.
 
-        starts = [a.start for a in acts]
-        idx = bisect.bisect_left(starts, window.start)
-        while idx < len(acts) and acts[idx].start < window.end:
-            nested += acts[idx].overlap(window.start, window.end)
-            idx += 1
-        window.self_ns = max(0, window.total_ns - nested)
+    Depth-0 kernel activities on one CPU never overlap each other (stack
+    discipline), so each window's nested time is a prefix-sum difference
+    over the start-sorted intervals plus a clip of the last one.  Matches
+    the object path exactly: intervals *starting* inside the window count,
+    an interval straddling the window start does not.
+    """
+    pdata = preemptions.data
+    kdata = kacts.data
+    k0 = kdata[kdata["depth"] == 0]
+    if not len(k0):
+        return
+    for cpu in np.unique(pdata["cpu"]):
+        ksel = k0[k0["cpu"] == cpu]
+        if not len(ksel):
+            continue
+        korder = np.argsort(ksel["start"], kind="stable")
+        ks = ksel["start"][korder]
+        ke = ksel["end"][korder]
+        # Durations clamp at 0: a truncated frame can carry end < start
+        # when an explicit end_ts precedes its start.
+        prefix = np.zeros(len(ks) + 1, dtype=np.int64)
+        np.cumsum(np.maximum(0, ke - ks), out=prefix[1:])
+        wsel = np.flatnonzero(pdata["cpu"] == cpu)
+        w0 = pdata["start"][wsel]
+        w1 = pdata["end"][wsel]
+        lo = np.searchsorted(ks, w0, side="left")
+        hi = np.searchsorted(ks, w1, side="left")
+        nested = prefix[hi] - prefix[lo]
+        # Only the last interval in range can extend past the window end.
+        has = hi > lo
+        last = hi[has] - 1
+        nested[has] -= np.maximum(0, ke[last] - w1[has])
+        pdata["self_ns"][wsel] = np.maximum(
+            0, pdata["total_ns"][wsel] - nested
+        )

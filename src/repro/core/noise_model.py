@@ -141,27 +141,30 @@ def fit_noise_profile(
     """
     if min_events < 1:
         raise ValueError("min_events must be positive")
-    groups: Dict[str, List[int]] = {}
-    for act in analysis.activities:
-        if not act.is_noise or act.truncated:
-            continue
-        groups.setdefault(act.name, []).append(act.self_ns)
+    d = analysis.table.data
+    m = d["is_noise"] & ~d["truncated"]
+    names = analysis.table.names()[m]
+    self_ns = d["self_ns"][m]
     span_cpu_sec = analysis.span_ns / SEC
     sources = []
     tag = 1
-    for name in sorted(groups):
-        durations = groups[name]
-        if len(durations) < min_events:
-            continue
-        sources.append(
-            NoiseSource(
-                name=name,
-                tag=tag,
-                rate_per_cpu_sec=len(durations)
-                / span_cpu_sec
-                / analysis.ncpus,
-                durations_ns=np.array(durations, dtype=np.int64),
+    if len(names):
+        uniq, inv = np.unique(names, return_inverse=True)
+        order = np.argsort(inv, kind="stable")
+        counts = np.bincount(inv, minlength=len(uniq))
+        chunks = np.split(self_ns[order], np.cumsum(counts)[:-1])
+        for name, durations in zip(uniq.tolist(), chunks):
+            if len(durations) < min_events:
+                continue
+            sources.append(
+                NoiseSource(
+                    name=name,
+                    tag=tag,
+                    rate_per_cpu_sec=len(durations)
+                    / span_cpu_sec
+                    / analysis.ncpus,
+                    durations_ns=durations.astype(np.int64),
+                )
             )
-        )
-        tag += 1
+            tag += 1
     return NoiseProfile(sources, ncpus=analysis.ncpus)

@@ -14,8 +14,12 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.analysis import NoiseAnalysis
-from repro.core.model import BREAKDOWN_CATEGORIES, NoiseCategory
+from repro.core.analysis import NoiseAnalysis, _resolve_event
+from repro.core.model import (
+    BREAKDOWN_CATEGORIES,
+    CATEGORY_ORDER,
+    NoiseCategory,
+)
 from repro.util.stats import DurationStats, describe_durations
 
 
@@ -72,14 +76,17 @@ def phase_stats(
     """
     if phases is None:
         phases = split_phases(analysis)
-    acts = analysis.select(event=event)
+    table = analysis.table
+    m = table.mask(event=_resolve_event(event), include_truncated=False)
+    # The table is time-sorted, so each phase is one searchsorted slice.
+    starts = table.data["start"][m]
+    self_ns = table.data["self_ns"][m]
     out = []
     for phase in phases:
-        durations = [
-            a.self_ns for a in acts if phase.start <= a.start < phase.end
-        ]
+        lo = np.searchsorted(starts, phase.start, side="left")
+        hi = np.searchsorted(starts, phase.end, side="left")
         stats = describe_durations(
-            durations, span_ns=max(1, phase.span_ns), cpus=analysis.ncpus
+            self_ns[lo:hi], span_ns=max(1, phase.span_ns), cpus=analysis.ncpus
         )
         out.append((phase, stats))
     return out
@@ -92,18 +99,29 @@ def phase_breakdown(
     """Per-phase category totals: how the noise *mix* changes over a run."""
     if phases is None:
         phases = split_phases(analysis)
+    d = analysis.table.data
+    noise = d["is_noise"]
     out = []
     for phase in phases:
         totals: Dict[NoiseCategory, int] = {c: 0 for c in BREAKDOWN_CATEGORIES}
-        for act in analysis.activities:
-            if not act.is_noise:
-                continue
-            overlap = act.overlap(phase.start, phase.end)
+        # Columnar prefilter; the proportional split stays Python-int
+        # arithmetic so its float rounding matches the object path exactly.
+        m = noise & (d["end"] > phase.start) & (d["start"] < phase.end)
+        sub = d[m]
+        for start, end, total_ns, self_ns, code in zip(
+            sub["start"].tolist(),
+            sub["end"].tolist(),
+            sub["total_ns"].tolist(),
+            sub["self_ns"].tolist(),
+            sub["category"].tolist(),
+        ):
+            overlap = min(end, phase.end) - max(start, phase.start)
             if overlap <= 0:
                 continue
-            total = act.total_ns if act.total_ns > 0 else 1
-            totals[act.category] = totals.get(act.category, 0) + int(
-                act.self_ns * overlap / total
+            total = total_ns if total_ns > 0 else 1
+            category = CATEGORY_ORDER[code]
+            totals[category] = totals.get(category, 0) + int(
+                self_ns * overlap / total
             )
         out.append((phase, totals))
     return out

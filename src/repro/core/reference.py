@@ -1,0 +1,527 @@
+"""Reference object-path implementation of the analysis core.
+
+This module preserves the original per-object pipeline — Python loops over
+:class:`~repro.core.model.Activity` dataclasses — exactly as it was before
+the columnar :class:`~repro.core.model.ActivityTable` refactor.  It exists
+for two purposes:
+
+* the differential property test (``tests/test_columnar.py``) checks that
+  the columnar pipeline's outputs are **exactly** equal to this
+  implementation on randomized record streams;
+* ``benchmarks/bench_perf_pipeline.py`` measures the columnar analyze
+  phase against this baseline (the ≥5× acceptance bar).
+
+Do not "optimize" this file: its value is being the slow, obviously-correct
+original.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.model import (
+    Activity,
+    BREAKDOWN_CATEGORIES,
+    EVENT_CATEGORY,
+    NoiseCategory,
+    PREEMPT_EVENT,
+    TRACER_PREEMPT_EVENT,
+    TraceMeta,
+)
+from repro.simkernel.task import TaskKind, TaskState
+from repro.tracing.ctf import Trace
+from repro.tracing.events import (
+    Ev,
+    Flag,
+    NAME_TO_EVENT,
+    RECORD_DTYPE,
+    decode_switch,
+    decode_task_state,
+    event_name,
+    is_paired,
+)
+from repro.util.stats import DurationStats, describe_durations
+
+PREEMPT_NAME = "preemption"
+
+
+class _Open:
+    __slots__ = ("event", "start", "pid", "arg", "nested")
+
+    def __init__(self, event: int, start: int, pid: int, arg: int) -> None:
+        self.event = event
+        self.start = start
+        self.pid = pid
+        self.arg = arg
+        self.nested = 0
+
+
+def build_activities_ref(
+    records: np.ndarray,
+    end_ts: Optional[int] = None,
+    strict: bool = False,
+) -> List[Activity]:
+    """Original object-path activity reconstruction."""
+    stacks: Dict[int, List[_Open]] = {}
+    activities: List[Activity] = []
+
+    times = records["time"]
+    events = records["event"]
+    cpus = records["cpu"]
+    flags = records["flag"]
+    pids = records["pid"]
+    args = records["arg"]
+
+    for i in range(len(records)):
+        event = int(events[i])
+        if not is_paired(event):
+            continue
+        cpu = int(cpus[i])
+        t = int(times[i])
+        flag = int(flags[i])
+        stack = stacks.setdefault(cpu, [])
+        if flag == Flag.ENTRY:
+            stack.append(_Open(event, t, int(pids[i]), int(args[i])))
+        elif flag == Flag.EXIT:
+            if not stack or stack[-1].event != event:
+                if strict:
+                    raise ValueError(
+                        f"unmatched EXIT for {event_name(event)} "
+                        f"on cpu{cpu} at t={t}"
+                    )
+                continue
+            frame = stack.pop()
+            total = t - frame.start
+            self_ns = total - frame.nested
+            if stack:
+                stack[-1].nested += total
+            activities.append(
+                Activity(
+                    event=frame.event,
+                    name=event_name(frame.event),
+                    cpu=cpu,
+                    pid=frame.pid,
+                    start=frame.start,
+                    end=t,
+                    total_ns=total,
+                    self_ns=max(0, self_ns),
+                    depth=len(stack),
+                    arg=frame.arg,
+                )
+            )
+
+    if end_ts is None and len(records):
+        end_ts = int(times.max())
+    for cpu, stack in stacks.items():
+        depth = 0
+        for frame in stack:
+            total = max(0, int(end_ts) - frame.start)
+            activities.append(
+                Activity(
+                    event=frame.event,
+                    name=event_name(frame.event),
+                    cpu=cpu,
+                    pid=frame.pid,
+                    start=frame.start,
+                    end=int(end_ts),
+                    total_ns=total,
+                    self_ns=max(0, total - frame.nested),
+                    depth=depth,
+                    arg=frame.arg,
+                    truncated=True,
+                )
+            )
+            depth += 1
+
+    activities.sort(key=lambda a: (a.start, a.cpu, a.depth))
+    return activities
+
+
+def build_preemptions_ref(
+    records: np.ndarray,
+    meta: TraceMeta,
+    end_ts: Optional[int] = None,
+    kact_activities: Optional[List[Activity]] = None,
+) -> List[Activity]:
+    """Original object-path preemption-window derivation."""
+    times = records["time"]
+    events = records["event"]
+    cpus = records["cpu"]
+    args = records["arg"]
+
+    order = np.argsort(times, kind="stable")
+
+    state: Dict[int, int] = {}
+    open_seg: Dict[int, Tuple[int, int]] = {}
+    displaced: Dict[int, Optional[int]] = {}
+    out: List[Activity] = []
+    if end_ts is None and len(records):
+        end_ts = int(times.max())
+
+    def close_segment(cpu: int, t: int, truncated: bool = False) -> None:
+        seg = open_seg.pop(cpu, None)
+        if seg is None:
+            return
+        daemon_pid, start = seg
+        disp = displaced.get(cpu)
+        if disp is None:
+            return
+        total = t - start
+        if total <= 0:
+            return
+        event = (
+            TRACER_PREEMPT_EVENT
+            if meta.kind_of(daemon_pid) == TaskKind.TRACERD
+            else PREEMPT_EVENT
+        )
+        out.append(
+            Activity(
+                event=event,
+                name=f"preempt:{meta.name_of(daemon_pid)}",
+                cpu=cpu,
+                pid=daemon_pid,
+                start=start,
+                end=t,
+                total_ns=total,
+                self_ns=total,
+                displaced_pid=disp,
+                truncated=truncated,
+            )
+        )
+
+    for i in order:
+        event = int(events[i])
+        if event == Ev.TASK_STATE:
+            pid, st = decode_task_state(int(args[i]))
+            state[pid] = st
+        elif event == Ev.SCHED_SWITCH:
+            cpu = int(cpus[i])
+            t = int(times[i])
+            prev_pid, next_pid = decode_switch(int(args[i]))
+            close_segment(cpu, t)
+            prev_kind = meta.kind_of(prev_pid)
+            next_kind = meta.kind_of(next_pid)
+            if (
+                prev_kind == TaskKind.RANK
+                and state.get(prev_pid) == TaskState.RUNNABLE
+            ):
+                displaced[cpu] = prev_pid
+            if next_kind in (
+                TaskKind.KDAEMON,
+                TaskKind.UDAEMON,
+                TaskKind.TRACERD,
+            ):
+                open_seg[cpu] = (next_pid, t)
+            else:
+                displaced[cpu] = None
+
+    for cpu in list(open_seg):
+        close_segment(cpu, int(end_ts), truncated=True)
+
+    if kact_activities:
+        _subtract_nested_ref(out, kact_activities)
+
+    out.sort(key=lambda a: (a.start, a.cpu))
+    return out
+
+
+def _subtract_nested_ref(
+    preemptions: List[Activity], kacts: List[Activity]
+) -> None:
+    by_cpu: Dict[int, List[Activity]] = {}
+    for act in kacts:
+        if act.depth == 0:
+            by_cpu.setdefault(act.cpu, []).append(act)
+    for acts in by_cpu.values():
+        acts.sort(key=lambda a: a.start)
+    for window in preemptions:
+        acts = by_cpu.get(window.cpu)
+        if not acts:
+            continue
+        nested = 0
+        starts = [a.start for a in acts]
+        idx = bisect.bisect_left(starts, window.start)
+        while idx < len(acts) and acts[idx].start < window.end:
+            nested += acts[idx].overlap(window.start, window.end)
+            idx += 1
+        window.self_ns = max(0, window.total_ns - nested)
+
+
+def classify_activities_ref(
+    kacts: List[Activity],
+    preemptions: List[Activity],
+    meta: TraceMeta,
+) -> List[Activity]:
+    """Original object-path classification."""
+    windows = _preemption_index_ref(preemptions)
+
+    for act in kacts:
+        act.category = EVENT_CATEGORY.get(act.event, NoiseCategory.OTHER)
+        act.is_noise = _kact_is_noise_ref(act, meta, windows)
+
+    for window in preemptions:
+        window.category = EVENT_CATEGORY.get(
+            window.event, NoiseCategory.OTHER
+        )
+        window.is_noise = (
+            window.event == PREEMPT_EVENT
+            and window.displaced_pid is not None
+        )
+
+    merged = kacts + preemptions
+    merged.sort(key=lambda a: (a.start, a.cpu, a.depth))
+    return merged
+
+
+def _preemption_index_ref(
+    preemptions: List[Activity],
+) -> Dict[int, Tuple[List[int], List[Activity]]]:
+    by_cpu: Dict[int, List[Activity]] = {}
+    for window in preemptions:
+        if window.event in (PREEMPT_EVENT, TRACER_PREEMPT_EVENT):
+            by_cpu.setdefault(window.cpu, []).append(window)
+    index: Dict[int, Tuple[List[int], List[Activity]]] = {}
+    for cpu, windows in by_cpu.items():
+        windows.sort(key=lambda w: w.start)
+        index[cpu] = ([w.start for w in windows], windows)
+    return index
+
+
+def _kact_is_noise_ref(
+    act: Activity,
+    meta: TraceMeta,
+    windows: Dict[int, Tuple[List[int], List[Activity]]],
+) -> bool:
+    category = act.category
+    if category in (NoiseCategory.SERVICE, NoiseCategory.TRACER):
+        return False
+    kind = meta.kind_of(act.pid)
+    if kind == TaskKind.RANK:
+        return True
+    if kind == TaskKind.IDLE:
+        return False
+    entry = windows.get(act.cpu)
+    if entry is None:
+        return False
+    starts, cpu_windows = entry
+    idx = bisect.bisect_right(starts, act.start) - 1
+    if idx < 0:
+        return False
+    window = cpu_windows[idx]
+    return window.end > act.start and window.displaced_pid is not None
+
+
+class ReferenceAnalysis:
+    """Original loop-based :class:`~repro.core.analysis.NoiseAnalysis`.
+
+    Keeps the pre-refactor semantics throughout, including the historical
+    quirk the satellite fix removed: ``total_noise_ns`` / ``breakdown_ns``
+    sum activities on *all* CPUs while ``per_cpu_noise_ns`` drops
+    ``cpu >= ncpus``.  Differential tests generate traces whose CPUs are
+    all in range, where the two pipelines agree exactly.
+    """
+
+    def __init__(
+        self,
+        trace: Union[Trace, np.ndarray],
+        meta: Optional[TraceMeta] = None,
+        span_ns: Optional[int] = None,
+        ncpus: Optional[int] = None,
+    ) -> None:
+        if isinstance(trace, Trace):
+            records = trace.records()
+            self.ncpus = ncpus if ncpus is not None else trace.ncpus
+            self.start_ts = trace.start_ts
+            self.end_ts = trace.end_ts
+        else:
+            records = np.asarray(trace, dtype=RECORD_DTYPE)
+            self.ncpus = ncpus if ncpus is not None else (
+                int(records["cpu"].max()) + 1 if len(records) else 1
+            )
+            self.start_ts = int(records["time"].min()) if len(records) else 0
+            self.end_ts = int(records["time"].max()) if len(records) else 0
+        if span_ns is not None:
+            self.end_ts = self.start_ts + span_ns
+        self.span_ns = max(1, self.end_ts - self.start_ts)
+        self.records = records
+        self.meta = meta if meta is not None else TraceMeta()
+
+        kacts = build_activities_ref(records, end_ts=self.end_ts)
+        preemptions = build_preemptions_ref(
+            records, self.meta, end_ts=self.end_ts, kact_activities=kacts
+        )
+        self.activities: List[Activity] = classify_activities_ref(
+            kacts, preemptions, self.meta
+        )
+
+    # -- selection ------------------------------------------------------
+    def select(
+        self,
+        event: Union[int, str, None] = None,
+        category: Optional[NoiseCategory] = None,
+        cpu: Optional[int] = None,
+        noise_only: bool = False,
+        include_truncated: bool = False,
+    ) -> List[Activity]:
+        event_id = _resolve_event_ref(event)
+        out = []
+        for act in self.activities:
+            if event_id is not None and act.event != event_id:
+                continue
+            if category is not None and act.category != category:
+                continue
+            if cpu is not None and act.cpu != cpu:
+                continue
+            if noise_only and not act.is_noise:
+                continue
+            if not include_truncated and act.truncated:
+                continue
+            out.append(act)
+        return out
+
+    def durations(
+        self,
+        event: Union[int, str],
+        cpu: Optional[int] = None,
+        noise_only: bool = False,
+    ) -> np.ndarray:
+        acts = self.select(event=event, cpu=cpu, noise_only=noise_only)
+        return np.array([a.self_ns for a in acts], dtype=np.int64)
+
+    # -- tables ---------------------------------------------------------
+    def stats(
+        self, event: Union[int, str], noise_only: bool = False
+    ) -> DurationStats:
+        durations = self.durations(event, noise_only=noise_only)
+        return describe_durations(durations, self.span_ns, cpus=self.ncpus)
+
+    def stats_by_event(
+        self, noise_only: bool = True
+    ) -> Dict[str, DurationStats]:
+        groups: Dict[str, List[int]] = {}
+        for act in self.activities:
+            if act.truncated:
+                continue
+            if noise_only and not act.is_noise:
+                continue
+            groups.setdefault(act.name, []).append(act.self_ns)
+        return {
+            name: describe_durations(values, self.span_ns, cpus=self.ncpus)
+            for name, values in sorted(groups.items())
+        }
+
+    # -- breakdown ------------------------------------------------------
+    def breakdown_ns(self) -> Dict[NoiseCategory, int]:
+        totals: Dict[NoiseCategory, int] = {
+            c: 0 for c in BREAKDOWN_CATEGORIES
+        }
+        for act in self.activities:
+            if act.is_noise:
+                totals[act.category] = (
+                    totals.get(act.category, 0) + act.self_ns
+                )
+        return totals
+
+    def total_noise_ns(self) -> int:
+        return sum(a.self_ns for a in self.activities if a.is_noise)
+
+    def noise_fraction(self) -> float:
+        return self.total_noise_ns() / (self.span_ns * self.ncpus)
+
+    def per_cpu_noise_ns(self) -> np.ndarray:
+        out = np.zeros(self.ncpus, dtype=np.int64)
+        for act in self.activities:
+            if act.is_noise and act.cpu < self.ncpus:
+                out[act.cpu] += act.self_ns
+        return out
+
+    def per_cpu_breakdown(self) -> "Dict[int, Dict[NoiseCategory, int]]":
+        out: Dict[int, Dict[NoiseCategory, int]] = {
+            cpu: {c: 0 for c in BREAKDOWN_CATEGORIES}
+            for cpu in range(self.ncpus)
+        }
+        for act in self.activities:
+            if act.is_noise and act.cpu < self.ncpus:
+                per_cpu = out[act.cpu]
+                per_cpu[act.category] = (
+                    per_cpu.get(act.category, 0) + act.self_ns
+                )
+        return out
+
+    # -- timelines ------------------------------------------------------
+    def noise_timeline(
+        self,
+        quantum_ns: int,
+        cpu: Optional[int] = None,
+        t0: Optional[int] = None,
+        t1: Optional[int] = None,
+    ) -> np.ndarray:
+        if quantum_ns <= 0:
+            raise ValueError("quantum must be positive")
+        t0 = self.start_ts if t0 is None else t0
+        t1 = self.end_ts if t1 is None else t1
+        n = max(1, -(-(t1 - t0) // quantum_ns))
+        out = np.zeros(n, dtype=np.float64)
+        for act in self.activities:
+            if not act.is_noise or act.end <= t0 or act.start >= t1:
+                continue
+            if cpu is not None and act.cpu != cpu:
+                continue
+            total = act.total_ns if act.total_ns > 0 else 1
+            density = act.self_ns / total
+            first = max(0, (act.start - t0) // quantum_ns)
+            last = min(n - 1, (act.end - 1 - t0) // quantum_ns)
+            for q in range(first, last + 1):
+                q_begin = t0 + q * quantum_ns
+                q_end = q_begin + quantum_ns
+                out[q] += act.overlap(q_begin, q_end) * density
+        return out
+
+    def user_time_cumulative(
+        self, cpu: int, t0: int, t1: int
+    ) -> "np.ndarray":
+        marks: List[tuple] = []
+        for act in self.activities:
+            if act.cpu != cpu or act.depth != 0:
+                continue
+            if act.end <= t0 or act.start >= t1:
+                continue
+            marks.append((max(act.start, t0), min(act.end, t1)))
+        marks.sort()
+        merged: List[tuple] = []
+        for begin, end in marks:
+            if merged and begin <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((begin, end))
+        rows = [(t0, 0)]
+        user = 0
+        cursor = t0
+        for begin, end in merged:
+            if begin > cursor:
+                user += begin - cursor
+                cursor = begin
+            rows.append((begin, user))
+            if end > cursor:
+                cursor = end
+            rows.append((cursor, user))
+        if cursor < t1:
+            user += t1 - cursor
+        rows.append((t1, user))
+        return np.array(rows, dtype=np.int64)
+
+
+def _resolve_event_ref(event: Union[int, str, None]) -> Optional[int]:
+    if event is None:
+        return None
+    if isinstance(event, str):
+        if event == PREEMPT_NAME:
+            return PREEMPT_EVENT
+        try:
+            return NAME_TO_EVENT[event]
+        except KeyError:
+            raise ValueError(f"unknown event name: {event!r}") from None
+    return int(event)

@@ -24,7 +24,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.analysis import NoiseAnalysis
+from repro.core.analysis import NoiseAnalysis, binned_noise_ns
+from repro.core.model import CATEGORY_CODE
 from repro.util.rng import RngLike, make_rng
 
 
@@ -97,23 +98,14 @@ def ablated_samples(
     """Per-interval noise with some categories removed — "what if we fixed
     this source?" ablations (e.g. the paper's CNK comparison: lightweight
     kernels eliminate page faults entirely)."""
-    drop = set(drop_categories)
-    t0, t1 = analysis.start_ts, analysis.end_ts
-    n = max(1, -(-(t1 - t0) // granularity_ns))
-    out = np.zeros(n, dtype=np.float64)
-    for act in analysis.activities:
-        if not act.is_noise or act.category in drop:
-            continue
-        if cpu is not None and act.cpu != cpu:
-            continue
-        total = act.total_ns if act.total_ns > 0 else 1
-        density = act.self_ns / total
-        first = max(0, (act.start - t0) // granularity_ns)
-        last = min(n - 1, (act.end - 1 - t0) // granularity_ns)
-        for q in range(first, last + 1):
-            q_begin = t0 + q * granularity_ns
-            out[q] += act.overlap(q_begin, q_begin + granularity_ns) * density
-    return out
+    codes = np.array(
+        sorted(CATEGORY_CODE[c] for c in set(drop_categories)), dtype=np.int8
+    )
+    table = analysis.table
+    kept = table.take(~np.isin(table.data["category"], codes))
+    return binned_noise_ns(
+        kept, granularity_ns, analysis.start_ts, analysis.end_ts, cpu=cpu
+    )
 
 
 def resonance_scan(

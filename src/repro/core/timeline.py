@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.model import TraceMeta
 from repro.simkernel.task import TaskState
-from repro.tracing.events import Ev, decode_task_state
+from repro.tracing.events import Ev
 
 
 @dataclass(frozen=True)
@@ -46,36 +46,47 @@ class TaskTimeline:
         end_ts: Optional[int] = None,
     ) -> None:
         self.meta = meta if meta is not None else TraceMeta()
-        times = records["time"]
-        events = records["event"]
-        args = records["arg"]
         if end_ts is None:
-            end_ts = int(times.max()) if len(records) else 0
+            end_ts = int(records["time"].max()) if len(records) else 0
         self.end_ts = int(end_ts)
 
-        order = np.argsort(times, kind="stable")
-        open_state: Dict[int, Tuple[int, int]] = {}  # pid -> (state, since)
+        # Columnar pairing: keep task_state records in stable time order,
+        # regroup by pid, and zip each pid's consecutive events into
+        # intervals.  A final open interval extends to end_ts.
+        sel = records[records["event"] == int(Ev.TASK_STATE)]
+        order = np.argsort(sel["time"], kind="stable")
+        times = sel["time"][order].astype(np.int64)
+        args = sel["arg"][order]
+        pids = (args >> np.uint64(8)).astype(np.int64)
+        states = (args & np.uint64(0xFF)).astype(np.int64)
+
         intervals: Dict[int, List[StateInterval]] = {}
-
-        for i in order:
-            if int(events[i]) != Ev.TASK_STATE:
-                continue
-            t = int(times[i])
-            pid, state = decode_task_state(int(args[i]))
-            previous = open_state.get(pid)
-            if previous is not None:
-                prev_state, since = previous
-                if t > since:
-                    intervals.setdefault(pid, []).append(
-                        StateInterval(pid, TaskState(prev_state), since, t)
-                    )
-            open_state[pid] = (state, t)
-
-        for pid, (state, since) in open_state.items():
-            if self.end_ts > since:
+        if len(times):
+            porder = np.argsort(pids, kind="stable")
+            sp = pids[porder]
+            st = times[porder]
+            ss = states[porder]
+            same_pid = sp[1:] == sp[:-1]
+            pair = np.flatnonzero(same_pid & (st[1:] > st[:-1]))
+            last = np.append(np.flatnonzero(~same_pid), len(sp) - 1)
+            for i in pair.tolist():
+                pid = int(sp[i])
                 intervals.setdefault(pid, []).append(
-                    StateInterval(pid, TaskState(state), since, self.end_ts)
+                    StateInterval(
+                        pid, TaskState(int(ss[i])), int(st[i]), int(st[i + 1])
+                    )
                 )
+            for i in last.tolist():
+                pid = int(sp[i])
+                if self.end_ts > st[i]:
+                    intervals.setdefault(pid, []).append(
+                        StateInterval(
+                            pid,
+                            TaskState(int(ss[i])),
+                            int(st[i]),
+                            self.end_ts,
+                        )
+                    )
         self._intervals = intervals
         self._starts: Dict[int, List[int]] = {
             pid: [iv.start for iv in ivs] for pid, ivs in intervals.items()

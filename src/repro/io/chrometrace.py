@@ -21,9 +21,15 @@ Timestamps are microseconds (floats), per the format.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.model import Activity, NoiseCategory, TraceMeta
+from repro.core.model import (
+    Activity,
+    ActivityTable,
+    CATEGORY_ORDER,
+    NoiseCategory,
+    TraceMeta,
+)
 
 #: Category -> Chrome color name (close to the paper's palette).
 _COLOR = {
@@ -39,12 +45,51 @@ _COLOR = {
 
 
 def activities_to_events(
-    activities: Sequence[Activity],
+    activities: Union[ActivityTable, Sequence[Activity]],
     meta: Optional[TraceMeta] = None,
 ) -> List[dict]:
-    """Convert activities into Trace Event Format dicts."""
+    """Convert activities (table or sequence) into Trace Event Format dicts."""
     meta = meta if meta is not None else TraceMeta()
     events: List[dict] = []
+    if isinstance(activities, ActivityTable):
+        d = activities.data
+        names = activities.names().tolist()
+        context_of: Dict[int, str] = {}
+        rows = zip(
+            names,
+            d["category"].tolist(),
+            d["start"].tolist(),
+            d["total_ns"].tolist(),
+            d["cpu"].tolist(),
+            d["self_ns"].tolist(),
+            d["pid"].tolist(),
+            d["is_noise"].tolist(),
+            d["depth"].tolist(),
+        )
+        for name, code, start, total, cpu, self_ns, pid, noise, depth in rows:
+            category = CATEGORY_ORDER[code]
+            context = context_of.get(pid)
+            if context is None:
+                context = context_of[pid] = meta.name_of(pid)
+            events.append(
+                {
+                    "name": name,
+                    "cat": category.value,
+                    "ph": "X",
+                    "ts": start / 1000.0,
+                    "dur": total / 1000.0,
+                    "pid": cpu,
+                    "tid": 0,
+                    "cname": _COLOR.get(category, "grey"),
+                    "args": {
+                        "self_ns": self_ns,
+                        "context": context,
+                        "noise": noise,
+                        "depth": depth,
+                    },
+                }
+            )
+        return events
     for act in activities:
         events.append(
             {
@@ -99,7 +144,7 @@ def timeline_to_events(timeline, meta: Optional[TraceMeta] = None) -> List[dict]
 
 def export_chrome_trace(
     path: str,
-    activities: Sequence[Activity],
+    activities: Union[ActivityTable, Sequence[Activity]],
     meta: Optional[TraceMeta] = None,
     timeline=None,
     ncpus: Optional[int] = None,
@@ -113,11 +158,12 @@ def export_chrome_trace(
     if timeline is not None:
         events += timeline_to_events(timeline, meta)
     # Process/thread naming metadata.
-    cpus = (
-        range(ncpus)
-        if ncpus is not None
-        else sorted({a.cpu for a in activities})
-    )
+    if ncpus is not None:
+        cpus = range(ncpus)
+    elif isinstance(activities, ActivityTable):
+        cpus = sorted(set(activities.data["cpu"].tolist()))
+    else:
+        cpus = sorted({a.cpu for a in activities})
     for cpu in cpus:
         events.append(
             {

@@ -15,13 +15,13 @@ the histograms.  Here the same role is played by:
 from __future__ import annotations
 
 import csv
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.analysis import NoiseAnalysis
 from repro.core.chart import SyntheticNoiseChart
-from repro.core.model import Activity
+from repro.core.model import Activity, ActivityTable, CATEGORY_ORDER
 
 CSV_COLUMNS = (
     "start",
@@ -39,31 +39,54 @@ CSV_COLUMNS = (
 )
 
 
+def _csv_rows(activities: Union[ActivityTable, Sequence[Activity]]):
+    if isinstance(activities, ActivityTable):
+        d = activities.data
+        names = activities.names().tolist()
+        cat_values = [CATEGORY_ORDER[c].value for c in d["category"].tolist()]
+        return zip(
+            d["start"].tolist(),
+            d["end"].tolist(),
+            d["cpu"].tolist(),
+            d["pid"].tolist(),
+            d["event"].tolist(),
+            names,
+            cat_values,
+            d["total_ns"].tolist(),
+            d["self_ns"].tolist(),
+            d["depth"].tolist(),
+            (d["is_noise"].astype(np.int8)).tolist(),
+            (d["truncated"].astype(np.int8)).tolist(),
+        )
+    return (
+        (
+            act.start,
+            act.end,
+            act.cpu,
+            act.pid,
+            act.event,
+            act.name,
+            act.category.value,
+            act.total_ns,
+            act.self_ns,
+            act.depth,
+            int(act.is_noise),
+            int(act.truncated),
+        )
+        for act in activities
+    )
+
+
 def activities_to_csv(
-    path: str, activities: Sequence[Activity]
+    path: str, activities: Union[ActivityTable, Sequence[Activity]]
 ) -> int:
     """Write one CSV row per activity; returns the row count."""
     with open(path, "w", newline="") as fp:
         writer = csv.writer(fp)
         writer.writerow(CSV_COLUMNS)
         n = 0
-        for act in activities:
-            writer.writerow(
-                (
-                    act.start,
-                    act.end,
-                    act.cpu,
-                    act.pid,
-                    act.event,
-                    act.name,
-                    act.category.value,
-                    act.total_ns,
-                    act.self_ns,
-                    act.depth,
-                    int(act.is_noise),
-                    int(act.truncated),
-                )
-            )
+        for row in _csv_rows(activities):
+            writer.writerow(row)
             n += 1
     return n
 
@@ -93,8 +116,23 @@ def read_activities_csv(path: str) -> List[dict]:
         return rows
 
 
-def activity_arrays(activities: Sequence[Activity]) -> Dict[str, np.ndarray]:
-    """Columnar numpy view of an activity list."""
+def activity_arrays(
+    activities: Union[ActivityTable, Sequence[Activity]]
+) -> Dict[str, np.ndarray]:
+    """Columnar numpy view of an activity list or table."""
+    if isinstance(activities, ActivityTable):
+        d = activities.data
+        return {
+            "start": d["start"].astype(np.int64),
+            "end": d["end"].astype(np.int64),
+            "cpu": d["cpu"].astype(np.int16),
+            "pid": d["pid"].astype(np.int32),
+            "event": d["event"].astype(np.int32),
+            "total_ns": d["total_ns"].astype(np.int64),
+            "self_ns": d["self_ns"].astype(np.int64),
+            "depth": d["depth"].astype(np.int16),
+            "is_noise": d["is_noise"].copy(),
+        }
     n = len(activities)
     out = {
         "start": np.zeros(n, dtype=np.int64),
@@ -131,7 +169,7 @@ def export_npz(
     ),
 ) -> None:
     """Write the full numeric bundle: activities + chart + histogram data."""
-    payload = activity_arrays(analysis.activities)
+    payload = activity_arrays(analysis.table)
     chart = SyntheticNoiseChart(analysis, cpu=chart_cpu)
     times, noise = chart.series()
     payload["chart_times"] = times

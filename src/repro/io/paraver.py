@@ -19,9 +19,17 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.model import Activity, NoiseCategory, TraceMeta
+import numpy as np
+
+from repro.core.model import (
+    Activity,
+    ActivityTable,
+    CATEGORY_ORDER,
+    NoiseCategory,
+    TraceMeta,
+)
 from repro.tracing.events import EVENT_NAMES
 
 #: Paraver state values (STATES section of the .pcf).
@@ -38,6 +46,12 @@ _CATEGORY_STATE = {
     NoiseCategory.TRACER: 26,
     NoiseCategory.OTHER: 27,
 }
+
+#: Paraver state per ActivityTable category code.
+_STATE_OF_CODE = np.array(
+    [_CATEGORY_STATE.get(c, STATE_RUNNING) for c in CATEGORY_ORDER],
+    dtype=np.int32,
+)
 
 #: Paraver event type for kernel-activity boundaries.
 EVENT_TYPE_KERNEL = 90000001
@@ -77,21 +91,50 @@ class ParaverWriter:
         }
 
     # ------------------------------------------------------------------
-    def prv_lines(self, activities: Sequence[Activity]) -> List[str]:
-        """Generate .prv body lines for the given activities."""
+    def prv_lines(
+        self, activities: Union[ActivityTable, Sequence[Activity]]
+    ) -> List[str]:
+        """Generate .prv body lines for the given activities.
+
+        Accepts an :class:`ActivityTable` (sorted and mapped column-wise)
+        or a plain activity sequence.
+        """
+        if isinstance(activities, ActivityTable):
+            d = activities.data
+            order = np.lexsort((d["cpu"], d["start"]))
+            d = d[order]
+            states = _STATE_OF_CODE[d["category"]].tolist()
+            columns = zip(
+                d["pid"].tolist(),
+                (d["cpu"] + 1).tolist(),
+                d["start"].tolist(),
+                d["end"].tolist(),
+                d["event"].tolist(),
+                states,
+            )
+        else:
+            ordered = sorted(activities, key=lambda a: (a.start, a.cpu))
+            columns = (
+                (
+                    a.pid,
+                    a.cpu + 1,
+                    a.start,
+                    a.end,
+                    a.event,
+                    _CATEGORY_STATE.get(a.category, STATE_RUNNING),
+                )
+                for a in ordered
+            )
         lines: List[str] = []
-        for act in sorted(activities, key=lambda a: (a.start, a.cpu)):
-            task_no = self._task_no.get(act.pid, 1)
-            cpu = act.cpu + 1
-            state = _CATEGORY_STATE.get(act.category, STATE_RUNNING)
+        task_no_of = self._task_no
+        for pid, cpu, start, end, event, state in columns:
+            task_no = task_no_of.get(pid, 1)
+            lines.append(f"1:{cpu}:1:{task_no}:1:{start}:{end}:{state}")
             lines.append(
-                f"1:{cpu}:1:{task_no}:1:{act.start}:{act.end}:{state}"
+                f"2:{cpu}:1:{task_no}:1:{start}:{EVENT_TYPE_KERNEL}:{event}"
             )
             lines.append(
-                f"2:{cpu}:1:{task_no}:1:{act.start}:{EVENT_TYPE_KERNEL}:{act.event}"
-            )
-            lines.append(
-                f"2:{cpu}:1:{task_no}:1:{act.end}:{EVENT_TYPE_KERNEL}:0"
+                f"2:{cpu}:1:{task_no}:1:{end}:{EVENT_TYPE_KERNEL}:0"
             )
         return lines
 
@@ -132,7 +175,7 @@ class ParaverWriter:
     def write_prv(
         self,
         path: str,
-        activities: Sequence[Activity],
+        activities: Union[ActivityTable, Sequence[Activity]],
         timeline=None,
     ) -> None:
         with open(path, "w") as fp:
@@ -195,7 +238,7 @@ class ParaverWriter:
     def export(
         self,
         basename: str,
-        activities: Sequence[Activity],
+        activities: Union[ActivityTable, Sequence[Activity]],
         timeline=None,
     ) -> Tuple[str, str, str]:
         """Write the full bundle; returns the three file paths."""
