@@ -5,7 +5,7 @@ PYTHON ?= python
 # caller-provided PYTHONPATH instead of clobbering it.
 PYENV = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench sweep figures examples coverage clean
+.PHONY: install test test-fast bench sweep selftrace figures examples coverage clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,12 @@ sweep:
 	$(PYTHON) -m repro.cli sweep AMG --duration 300ms --seeds 0:6 \
 		--ncpus 4 --cache-dir .sweep-cache
 
+# Profile the pipeline's own execution; open selftrace.json in Perfetto.
+selftrace:
+	$(PYENV) \
+	$(PYTHON) -m repro.cli selftrace --config examples/ftq_selftrace.json \
+		--out selftrace.json
+
 figures:
 	$(PYENV) $(PYTHON) examples/generate_figures.py figures 1.5
 
@@ -41,5 +47,5 @@ examples:
 	$(PYENV) $(PYTHON) examples/cluster_study.py
 
 clean:
-	rm -rf figures paraver_out .pytest_cache .sweep-cache
+	rm -rf figures paraver_out .pytest_cache .sweep-cache selftrace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -12,6 +12,11 @@ exercises and prints the paper's rows next to the measured ones.
 
 Run with ``pytest benchmarks/ --benchmark-only`` — add ``-s`` to also see
 the printed tables live.
+
+Benchmarks run with the observability layer (:mod:`repro.obs`) enabled;
+:func:`once` attaches the telemetry collected during the measured call to
+the benchmark's ``extra_info`` so ``--benchmark-json`` output carries the
+pipeline's own counters and phase timings alongside the wall numbers.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from typing import Optional
 
 import pytest
 
+from repro import obs
 from repro.core import NoiseAnalysis, TraceMeta
 from repro.exec import ResultCache, RunSpec
 from repro.util.units import MSEC, SEC
@@ -84,6 +90,15 @@ class RunCache:
         )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _observe_benchmarks():
+    """Collect pipeline self-telemetry for the whole benchmark session."""
+    obs.enable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
 @pytest.fixture(scope="session")
 def runs():
     return RunCache()
@@ -102,5 +117,14 @@ def echo(capsys):
 
 def once(benchmark, fn):
     """Benchmark an expensive pipeline stage exactly once and return its
-    result (analysis steps are deterministic; repetition adds nothing)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    result (analysis steps are deterministic; repetition adds nothing).
+
+    The telemetry the stage produced (spans, counters) rides along in the
+    benchmark's ``extra_info`` — visible in ``--benchmark-json`` output.
+    """
+    if obs.enabled():
+        obs.drain_snapshot()  # start the measured call with a clean slate
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    if obs.enabled():
+        benchmark.extra_info["obs"] = obs.aggregate(obs.drain_snapshot())
+    return result

@@ -19,6 +19,13 @@ Mirrors the lttng-noise workflow end to end from a shell::
 
 Every subcommand accepts ``--meta FILE``; by default the ``.meta.json``
 sidecar written by ``record`` is looked up next to the trace.
+
+Every subcommand also accepts ``--obs PATH``: it enables the pipeline's
+self-observability layer (:mod:`repro.obs`) for the duration of the command
+and writes the collected telemetry to PATH on exit — a Chrome trace when
+PATH ends in ``.json`` (open in ui.perfetto.dev), JSON lines otherwise.
+``lttng-noise selftrace`` profiles the whole sim -> trace -> analyze stack
+in one shot.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.core import (
     NoiseAnalysis,
     SyntheticNoiseChart,
@@ -376,12 +384,108 @@ def cmd_sweep(args) -> int:
         cache=cache,
         progress=progress,
     )
+    if sweep.exec_summary:
+        print(sweep.exec_summary, file=sys.stderr)
     events = [e for e in (args.events or "").split(",") if e.strip()]
     print(f"{name}: {len(seeds)} seeds x {fmt_ns(duration)} "
           f"on {args.ncpus} cpus")
     print(sweep.summary_table(events))
     if cache is not None:
         print(cache.describe(), file=sys.stderr)
+    return 0
+
+
+def cmd_selftrace(args) -> int:
+    """Profile the pipeline itself: one full sim -> trace -> analyze pass
+    with the obs layer on, exported as a Chrome trace of *our own* phases.
+    """
+    import json as json_mod
+    import tempfile
+
+    from repro.exec import ResultCache, RunSpec
+    from repro.util.units import MSEC
+
+    config = {}
+    if args.config:
+        with open(args.config) as fp:
+            config = json_mod.load(fp)
+    name = str(args.workload or config.get("workload", "FTQ")).upper()
+    if name != "FTQ" and name not in SEQUOIA_PROFILES:
+        choices = ["FTQ"] + sorted(SEQUOIA_PROFILES)
+        print(f"unknown workload {name!r}; choose from {choices}",
+              file=sys.stderr)
+        return 2
+    duration = parse_duration(
+        str(args.duration or config.get("duration", "1s"))
+    )
+    seed = args.seed if args.seed is not None else int(config.get("seed", 0))
+    ncpus = args.ncpus or int(config.get("ncpus", 2))
+
+    obs.enable()
+    spec = RunSpec.make(name, duration, seed, ncpus)
+    hb = obs.Heartbeat("selftrace", total=5, interval_s=0.0)
+    with obs.span("selftrace", workload=name, seed=seed):
+        with obs.span("simulate"):
+            trace, meta = spec.execute()
+        hb.tick(1, "simulate")
+
+        # Exercise the result cache against a throwaway directory so the
+        # profile shows both sides: one cold miss + put, one warm hit
+        # (which decodes the entry back from disk).
+        with tempfile.TemporaryDirectory(prefix="lttng-noise-st-") as tmp:
+            with obs.span("cache-roundtrip"):
+                cache = ResultCache(tmp)
+                cache.get(spec)
+                cache.put(spec, trace, meta)
+                hit = cache.get(spec)
+                if hit is not None:
+                    trace, meta = hit
+        hb.tick(2, "cache round-trip")
+
+        with obs.span("serialize"):
+            blob = trace.to_bytes(compress=True)
+            trace = Trace.from_bytes(blob)
+        hb.tick(3, "serialize")
+
+        # NoiseAnalysis emits the trace-decode span (ctf.records) and the
+        # analysis span with nesting/preemption/classify nested inside.
+        analysis = NoiseAnalysis(trace, meta=meta)
+        hb.tick(4, "analyze")
+
+        with obs.span("report"):
+            analysis.stats_by_event()
+            analysis.breakdown_ns()
+            analysis.per_cpu_noise_ns()
+            analysis.noise_timeline(int(10 * MSEC))
+            analysis.total_noise_ns()
+        hb.tick(5, "report")
+    hb.finish("done")
+
+    snap = obs.snapshot()
+    n = obs.write_chrome_trace(args.out, snap)
+    if args.jsonl:
+        obs.write_jsonl(args.jsonl, snap)
+        print(f"jsonl: {args.jsonl}", file=sys.stderr)
+
+    agg = obs.aggregate(snap)
+    print(f"selftrace {name}: {fmt_ns(duration)} simulated on {ncpus} cpus "
+          f"(seed {seed})")
+    print("phases:")
+    for phase in ("selftrace", "simulate", "cache-roundtrip", "serialize",
+                  "trace-decode", "nesting", "preemption", "classify",
+                  "analysis", "report"):
+        agg_span = agg["spans"].get(phase)
+        if agg_span:
+            print(f"  {phase:<16s} {agg_span['total_ms']:9.2f} ms "
+                  f"(x{agg_span['count']})")
+    print("counters:")
+    for cname in ("sim.events", "tracing.records_written",
+                  "tracing.records_lost", "decode.records",
+                  "classify.activities", "cache.hit", "cache.miss"):
+        for key, value in sorted(agg["counters"].items()):
+            if key == cname or key.startswith(cname + "{"):
+                print(f"  {key:<28s} {value}")
+    print(f"chrome: {n} events -> {args.out} (open in ui.perfetto.dev)")
     return 0
 
 
@@ -537,12 +641,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--op", default=str(DEFAULT_OP_NS))
     p.set_defaults(fn=cmd_ftq_compare)
 
+    p = sub.add_parser(
+        "selftrace",
+        help="profile the pipeline itself (sim -> trace -> analyze) "
+             "into a Chrome trace",
+    )
+    p.add_argument("--config", metavar="FILE",
+                   help="JSON with workload/duration/seed/ncpus "
+                        "(flags override; see examples/ftq_selftrace.json)")
+    p.add_argument("--workload",
+                   help="FTQ or a Sequoia benchmark name (default: FTQ)")
+    p.add_argument("--duration",
+                   help="simulated time for the profiled run (default: 1s)")
+    p.add_argument("--seed", type=int)
+    p.add_argument("--ncpus", type=int)
+    p.add_argument("--out", default="selftrace.json",
+                   help="Chrome-trace output (default: selftrace.json)")
+    p.add_argument("--jsonl", metavar="FILE",
+                   help="also dump the raw telemetry as JSON lines")
+    p.set_defaults(fn=cmd_selftrace)
+
+    # Global observability switch, valid after any subcommand.
+    for sp in sub.choices.values():
+        sp.add_argument(
+            "--obs", metavar="PATH",
+            help="collect pipeline telemetry and write it to PATH on exit "
+                 "(Chrome trace if PATH ends in .json, else JSON lines)",
+        )
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    obs_path = getattr(args, "obs", None)
+    if obs_path:
+        obs.enable()
+    try:
+        return args.fn(args)
+    finally:
+        if obs_path:
+            snap = obs.snapshot()
+            if obs_path.endswith(".json"):
+                obs.write_chrome_trace(obs_path, snap)
+            else:
+                obs.write_jsonl(obs_path, snap)
+            print(f"obs: telemetry -> {obs_path}", file=sys.stderr)
+        if obs_path or args.fn is cmd_selftrace:
+            # Leave the process clean for the next in-process main() call
+            # (tests drive the CLI this way).
+            obs.disable()
+            obs.reset()
 
 
 if __name__ == "__main__":

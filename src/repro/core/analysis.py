@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.classify import classify_table
 from repro.core.model import (
     Activity,
@@ -124,19 +125,22 @@ class NoiseAnalysis:
         self.records = records
         self.meta = meta if meta is not None else TraceMeta()
 
-        kacts = build_activity_table(
-            records, end_ts=self.end_ts, meta=self.meta
-        )
-        preemptions = build_preemption_table(
-            records, self.meta, end_ts=self.end_ts, kact_table=kacts
-        )
-        #: Every reconstructed activity as one columnar table, time-sorted
-        #: and classified.
-        self.table: ActivityTable = classify_table(
-            kacts, preemptions, self.meta
-        )
+        with obs.span("analysis", records=len(records)):
+            kacts = build_activity_table(
+                records, end_ts=self.end_ts, meta=self.meta
+            )
+            preemptions = build_preemption_table(
+                records, self.meta, end_ts=self.end_ts, kact_table=kacts
+            )
+            #: Every reconstructed activity as one columnar table,
+            #: time-sorted and classified.
+            self.table: ActivityTable = classify_table(
+                kacts, preemptions, self.meta
+            )
         out_of_range = int((self.table.data["cpu"] >= self.ncpus).sum())
         if out_of_range:
+            if obs.enabled():
+                obs.counter("analysis.out_of_range_cpu").inc(out_of_range)
             warnings.warn(
                 f"{out_of_range} activities reference CPUs >= ncpus="
                 f"{self.ncpus}; they are excluded from noise totals",

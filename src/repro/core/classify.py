@@ -32,6 +32,7 @@ from typing import List
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import (
     Activity,
     ActivityTable,
@@ -63,10 +64,16 @@ def classify_table(
 ) -> ActivityTable:
     """Assign categories and noise flags on both tables in place; returns
     one merged, time-sorted table."""
-    _classify_inplace(kacts, preemptions, meta)
-    merged = np.concatenate([kacts.data, preemptions.data])
-    order = np.lexsort((merged["depth"], merged["cpu"], merged["start"]))
-    return ActivityTable(merged[order], meta=meta)
+    with obs.span("classify"):
+        _classify_inplace(kacts, preemptions, meta)
+        merged = np.concatenate([kacts.data, preemptions.data])
+        order = np.lexsort((merged["depth"], merged["cpu"], merged["start"]))
+        if obs.enabled():
+            obs.counter("classify.activities").inc(len(merged))
+            obs.counter("classify.noise_activities").inc(
+                int(merged["is_noise"].sum())
+            )
+        return ActivityTable(merged[order], meta=meta)
 
 
 def _classify_inplace(

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import (
     Activity,
     ActivityTable,
@@ -65,18 +66,24 @@ def build_activity_table(
         Optional task metadata attached to the table (used for display
         names of preemption rows once tables are merged).
     """
-    if end_ts is None and len(records):
-        end_ts = int(records["time"].max())
+    with obs.span("nesting"):
+        if end_ts is None and len(records):
+            end_ts = int(records["time"].max())
 
-    paired = records["event"] < FIRST_POINT_EVENT
-    sel = records[paired]
-    table = _match_frames_vectorized(sel, end_ts, meta)
-    if table is None:
-        table = _match_frames_walk(sel, end_ts, strict, meta)
-    order = np.lexsort(
-        (table.data["depth"], table.data["cpu"], table.data["start"])
-    )
-    return table.take(order)
+        paired = records["event"] < FIRST_POINT_EVENT
+        sel = records[paired]
+        table = _match_frames_vectorized(sel, end_ts, meta)
+        if table is None:
+            # Malformed stream (unmatched or mismatched EXITs): fall back
+            # to the sequential stack walk.  The counter makes the rate of
+            # this slow path a first-class signal.
+            if obs.enabled():
+                obs.counter("nesting.stack_walk_fallback").inc()
+            table = _match_frames_walk(sel, end_ts, strict, meta)
+        order = np.lexsort(
+            (table.data["depth"], table.data["cpu"], table.data["start"])
+        )
+        return table.take(order)
 
 
 def _match_frames_vectorized(
@@ -335,6 +342,16 @@ def build_preemption_table(
     are tagged with :data:`TRACER_PREEMPT_EVENT` so the classifier can
     exclude them, as the paper does.
     """
+    with obs.span("preemption"):
+        return _build_preemption_table(records, meta, end_ts, kact_table)
+
+
+def _build_preemption_table(
+    records: np.ndarray,
+    meta: TraceMeta,
+    end_ts: Optional[int] = None,
+    kact_table: Optional[ActivityTable] = None,
+) -> ActivityTable:
     if end_ts is None and len(records):
         end_ts = int(records["time"].max())
 

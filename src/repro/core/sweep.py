@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.analysis import NoiseAnalysis
 from repro.core.model import NoiseCategory, TraceMeta
 
@@ -64,6 +65,10 @@ class MetricSummary:
 
 class SeedSweep:
     """Analyses of the same workload under different seeds."""
+
+    #: One-line execution report (runs, cache hits, wall time) set by
+    #: :meth:`run` when the parallel-runner path was used; None otherwise.
+    exec_summary: Optional[str] = None
 
     def __init__(self, analyses: List[NoiseAnalysis]) -> None:
         if not analyses:
@@ -119,18 +124,26 @@ class SeedSweep:
             runner = ParallelRunner(
                 max_workers=max_workers, cache=cache, parallel=parallel
             )
-            results = runner.run(specs, progress=progress)
-            return SeedSweep([r.analysis() for r in results])
+            with obs.span("sweep", workload=name, runs=len(specs)):
+                results = runner.run(specs, progress=progress)
+                sweep = SeedSweep([r.analysis() for r in results])
+            sweep.exec_summary = runner.summary()
+            if cache is not None:
+                sweep.exec_summary += (
+                    f"; cache {cache.hits} hits, {cache.misses} misses"
+                )
+            return sweep
 
         analyses = []
-        for seed in seeds:
-            workload = workload_factory()
-            node, trace = workload.run_traced(
-                duration_ns, seed=int(seed), ncpus=ncpus
-            )
-            analyses.append(
-                NoiseAnalysis(trace, meta=TraceMeta.from_node(node))
-            )
+        with obs.span("sweep", runs=len(seeds)):
+            for seed in seeds:
+                workload = workload_factory()
+                node, trace = workload.run_traced(
+                    duration_ns, seed=int(seed), ncpus=ncpus
+                )
+                analyses.append(
+                    NoiseAnalysis(trace, meta=TraceMeta.from_node(node))
+                )
         return SeedSweep(analyses)
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ import tempfile
 from typing import Optional, Tuple
 
 import repro
+from repro import obs
 from repro.exec.spec import RunSpec
 
 #: Environment override for the default cache location.
@@ -76,19 +77,28 @@ class ResultCache:
 
         trace_path, meta_path, _ = self._paths(spec)
         if not (os.path.exists(trace_path) and os.path.exists(meta_path)):
-            self.misses += 1
+            self._miss()
             return None
         try:
             trace = Trace.from_file(trace_path)
             meta = TraceMeta.from_file(meta_path)
         except (TraceFormatError, OSError, ValueError, KeyError):
             self.evict(spec)
-            self.misses += 1
+            self._miss()
             return None
         self.hits += 1
+        if obs.enabled():
+            obs.counter("cache.hit").inc()
         return trace, meta
 
+    def _miss(self) -> None:
+        self.misses += 1
+        if obs.enabled():
+            obs.counter("cache.miss").inc()
+
     def put(self, spec: RunSpec, trace, meta) -> None:
+        if obs.enabled():
+            obs.counter("cache.put").inc()
         os.makedirs(self.root, exist_ok=True)
         trace_path, meta_path, spec_path = self._paths(spec)
         self._write_atomic(trace_path, trace.to_bytes(compress=True))
@@ -111,6 +121,8 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def evict(self, spec: RunSpec) -> None:
+        if obs.enabled():
+            obs.counter("cache.evict").inc()
         for path in self._paths(spec):
             if os.path.exists(path):
                 os.unlink(path)

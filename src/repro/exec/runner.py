@@ -15,11 +15,13 @@ the results are bit-identical either way.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.exec.cache import ResultCache
 from repro.exec.spec import RunSpec
 
@@ -27,15 +29,24 @@ from repro.exec.spec import RunSpec
 ProgressFn = Callable[[int, int, RunSpec, bool, float], None]
 
 
-def execute_spec_serialized(spec: RunSpec) -> Tuple[bytes, str, float]:
+def execute_spec_serialized(
+    spec: RunSpec,
+) -> Tuple[bytes, str, float, Optional[str]]:
     """Worker entry point: simulate one spec, return picklable primitives.
 
-    Returns ``(trace_bytes, meta_json, elapsed_seconds)``.  Module-level so
-    it pickles under every multiprocessing start method.
+    Returns ``(trace_bytes, meta_json, elapsed_seconds, obs_json)``.
+    Module-level so it pickles under every multiprocessing start method.
+    When obs is enabled (workers inherit the mode through
+    :data:`repro.obs.OBS_ENV`), the worker's telemetry for this run is
+    drained into ``obs_json`` for the parent to merge — spans keep the
+    worker's pid, so a merged chrome export shows per-worker tracks.
     """
     t0 = time.perf_counter()
-    trace, meta = spec.execute()
-    return trace.to_bytes(), meta.to_json(), time.perf_counter() - t0
+    with obs.span("run", workload=spec.workload, seed=spec.seed):
+        trace, meta = spec.execute()
+    elapsed = time.perf_counter() - t0
+    obs_json = json.dumps(obs.drain_snapshot()) if obs.enabled() else None
+    return trace.to_bytes(), meta.to_json(), elapsed, obs_json
 
 
 @dataclass
@@ -71,6 +82,9 @@ class ParallelRunner:
         #: Filled per run() call: how many specs each path handled.
         self.last_cached = 0
         self.last_simulated = 0
+        self.last_total = 0
+        self.last_wall_s = 0.0
+        self.last_busy_s = 0.0
         self.used_processes = False
 
     # ------------------------------------------------------------------
@@ -84,9 +98,17 @@ class ParallelRunner:
         Identical specs are simulated once and fanned back to every
         position that asked for them.
         """
+        wall0 = time.perf_counter()
         total = len(specs)
         results: List[Optional[RunResult]] = [None] * total
         done = 0
+
+        if progress is None and obs.enabled():
+            # Observed long sweeps heartbeat by default (rate-limited).
+            from repro.obs import Heartbeat
+
+            hb = Heartbeat("runner", total=total)
+            progress = lambda d, t, spec, cached, elapsed: hb.tick(d)  # noqa: E731
 
         def report(result: RunResult) -> None:
             nonlocal done
@@ -107,15 +129,51 @@ class ParallelRunner:
 
         self.last_cached = total - sum(len(v) for v in pending.values())
         self.last_simulated = len(pending)
+        self.last_total = total
+        self.last_busy_s = 0.0
         unique = list(pending)
 
         for spec, trace, meta, elapsed in self._execute(unique):
             if self.cache is not None:
                 self.cache.put(spec, trace, meta)
+            self.last_busy_s += elapsed
             for i in pending[spec]:
                 results[i] = RunResult(spec, trace, meta, False, elapsed)
                 report(results[i])
+        self.last_wall_s = time.perf_counter() - wall0
+        if obs.enabled():
+            self._report_counters()
         return [r for r in results if r is not None]
+
+    def _report_counters(self) -> None:
+        obs.counter("runner.runs").inc(self.last_total)
+        obs.counter("runner.cached").inc(self.last_cached)
+        obs.counter("runner.simulated").inc(self.last_simulated)
+        workers = min(self.max_workers, max(1, self.last_simulated))
+        obs.gauge("runner.workers").set(
+            workers if self.used_processes else 1
+        )
+        if self.last_wall_s > 0 and self.last_simulated:
+            denom = self.last_wall_s * (
+                workers if self.used_processes else 1
+            )
+            obs.gauge("runner.worker_utilization").set(
+                min(1.0, self.last_busy_s / denom)
+            )
+
+    def summary(self) -> str:
+        """One line describing the last :meth:`run` (satellite of the obs
+        layer: sweeps should say what they did)."""
+        how = (
+            f"{min(self.max_workers, max(1, self.last_simulated))} workers"
+            if self.used_processes
+            else "serial"
+        )
+        return (
+            f"{self.last_total} runs: {self.last_cached} cached, "
+            f"{self.last_simulated} simulated ({how}) "
+            f"in {self.last_wall_s:.2f}s wall"
+        )
 
     # ------------------------------------------------------------------
     def _execute(self, specs: List[RunSpec]):
@@ -139,7 +197,8 @@ class ParallelRunner:
 
         for spec in specs:
             t0 = time.perf_counter()
-            trace, meta = spec.execute()
+            with obs.span("run", workload=spec.workload, seed=spec.seed):
+                trace, meta = spec.execute()
             yield spec, trace, meta, time.perf_counter() - t0
 
     def _execute_processes(self, specs: List[RunSpec], workers: int):
@@ -164,9 +223,13 @@ class ParallelRunner:
                 }
                 for future in as_completed(futures):
                     spec = futures[future]
-                    trace_bytes, meta_json, elapsed = future.result()
+                    trace_bytes, meta_json, elapsed, obs_json = (
+                        future.result()
+                    )
                     remaining.discard(spec)
                     self.used_processes = True
+                    if obs_json is not None and obs.enabled():
+                        obs.merge_snapshot(json.loads(obs_json))
                     yield (
                         spec,
                         Trace.from_bytes(trace_bytes),

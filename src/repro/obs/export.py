@@ -1,0 +1,168 @@
+"""Serialize a run's self-telemetry: JSON-lines and Chrome trace format.
+
+Two consumers, two shapes:
+
+* :func:`write_jsonl` — one JSON object per line (a ``meta`` line, then
+  every counter/gauge/histogram series and every span), the archival form
+  CI and benchmark sidecars keep;
+* :func:`write_chrome_trace` — the Trace Event Format, following the same
+  conventions as :mod:`repro.io.chrometrace` (microsecond ``ts``/``dur``,
+  a ``traceEvents`` envelope, process-name metadata), so the pipeline's own
+  execution opens in Perfetto exactly like the simulated kernel's traces.
+  Spans become complete ("X") slices per (pid, tid); metric series become
+  counter ("C") tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+
+def snapshot(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """The registry's current contents as plain data."""
+    return (registry if registry is not None else REGISTRY).snapshot()
+
+
+def _series_key(entry: Dict[str, Any]) -> str:
+    labels = entry.get("labels") or {}
+    if not labels:
+        return entry["name"]
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{entry['name']}{{{inner}}}"
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+# ----------------------------------------------------------------------
+
+def write_jsonl(path: str, snap: Optional[Dict[str, Any]] = None) -> int:
+    """Write the snapshot as JSON-lines; returns the number of lines."""
+    snap = snap if snap is not None else snapshot()
+    lines: List[str] = [json.dumps({"type": "meta", **snap["meta"]})]
+    for kind in ("counters", "gauges", "histograms"):
+        for entry in snap[kind]:
+            lines.append(json.dumps({"type": kind[:-1], **entry}))
+    for entry in snap["spans"]:
+        lines.append(json.dumps({"type": "span", **entry}))
+    with open(path, "w") as fp:
+        fp.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+
+def chrome_events(snap: Optional[Dict[str, Any]] = None) -> List[dict]:
+    """Convert a telemetry snapshot into Trace Event Format dicts."""
+    snap = snap if snap is not None else snapshot()
+    epoch = snap["meta"]["epoch_ns"]
+    own_pid = snap["meta"]["pid"]
+    events: List[dict] = []
+    last_us = 0.0
+    pids = {own_pid}
+    for s in snap["spans"]:
+        ts = max(0.0, (s["start_ns"] - epoch) / 1000.0)
+        dur = s["dur_ns"] / 1000.0
+        last_us = max(last_us, ts + dur)
+        pids.add(s["pid"])
+        events.append(
+            {
+                "name": s["name"],
+                "cat": "pipeline",
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": s["pid"],
+                "tid": s["tid"],
+                "args": {
+                    "cpu_ms": s["cpu_ns"] / 1e6,
+                    "mem_peak_kb": s["mem_peak_kb"],
+                    "depth": s["depth"],
+                    "error": s["error"],
+                    **(s.get("labels") or {}),
+                },
+            }
+        )
+    # Metric series as counter tracks, sampled once at the profile's end so
+    # Perfetto shows the final value alongside the span timeline.
+    for kind in ("counters", "gauges"):
+        for entry in snap[kind]:
+            events.append(
+                {
+                    "name": _series_key(entry),
+                    "cat": "metrics",
+                    "ph": "C",
+                    "ts": last_us,
+                    "pid": own_pid,
+                    "args": {"value": entry["value"]},
+                }
+            )
+    for entry in snap["histograms"]:
+        events.append(
+            {
+                "name": _series_key(entry),
+                "cat": "metrics",
+                "ph": "C",
+                "ts": last_us,
+                "pid": own_pid,
+                "args": {"count": entry["count"], "sum": entry["sum"]},
+            }
+        )
+    for pid in sorted(pids):
+        name = (
+            "lttng-noise pipeline" if pid == own_pid else f"worker {pid}"
+        )
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": name},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str, snap: Optional[Dict[str, Any]] = None
+) -> int:
+    """Write a Perfetto-loadable self-profile; returns the event count."""
+    events = chrome_events(snap)
+    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    with open(path, "w") as fp:
+        json.dump(payload, fp)
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Compact aggregate (benchmark sidecars)
+# ----------------------------------------------------------------------
+
+def aggregate(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Flatten a snapshot for embedding in benchmark JSON: scalar series
+    keyed by ``name{labels}``, spans rolled up per name."""
+    snap = snap if snap is not None else snapshot()
+    spans: Dict[str, Dict[str, float]] = {}
+    for s in snap["spans"]:
+        agg = spans.setdefault(
+            s["name"], {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+        )
+        agg["count"] += 1
+        ms = s["dur_ns"] / 1e6
+        agg["total_ms"] += ms
+        agg["max_ms"] = max(agg["max_ms"], ms)
+    return {
+        "counters": {
+            _series_key(e): e["value"] for e in snap["counters"]
+        },
+        "gauges": {_series_key(e): e["value"] for e in snap["gauges"]},
+        "histograms": {
+            _series_key(e): {"count": e["count"], "sum": e["sum"]}
+            for e in snap["histograms"]
+        },
+        "spans": spans,
+    }

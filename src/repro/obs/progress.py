@@ -1,0 +1,81 @@
+"""Heartbeat/progress reporting for long sweeps.
+
+A :class:`Heartbeat` throttles progress lines to at most one per interval
+(so a 10k-run sweep doesn't scroll 10k lines), always prints the final
+summary, and — when obs is enabled — keeps the same information as metric
+series (``progress.units_done`` etc.) so an ``--obs`` export records how a
+long sweep advanced even if nobody watched the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+
+class Heartbeat:
+    """Rate-limited progress reporter for a known or unknown total."""
+
+    def __init__(
+        self,
+        label: str,
+        total: Optional[int] = None,
+        interval_s: float = 2.0,
+        stream: Optional[TextIO] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self.registry = registry if registry is not None else REGISTRY
+        self.done = 0
+        self.t0 = time.perf_counter()
+        self._last_emit = -float("inf")
+
+    # ------------------------------------------------------------------
+    def tick(self, done: Optional[int] = None, message: str = "") -> bool:
+        """Advance progress; prints if the interval elapsed.  Returns
+        whether a line was emitted."""
+        self.done = self.done + 1 if done is None else done
+        reg = self.registry
+        if reg.enabled:
+            reg.gauge("progress.units_done", label=self.label).set(self.done)
+            reg.counter("progress.heartbeats", label=self.label).inc()
+        now = time.perf_counter()
+        if now - self._last_emit < self.interval_s:
+            return False
+        self._last_emit = now
+        self._emit(message)
+        return True
+
+    def finish(self, message: str = "") -> None:
+        """Always prints the closing line with elapsed wall time."""
+        elapsed = time.perf_counter() - self.t0
+        tail = f" {message}" if message else ""
+        print(
+            f"[{self.label}] done: {self._frac()} in {elapsed:.2f}s{tail}",
+            file=self.stream,
+        )
+        if self.registry.enabled:
+            self.registry.gauge(
+                "progress.elapsed_s", label=self.label
+            ).set(elapsed)
+
+    # ------------------------------------------------------------------
+    def _frac(self) -> str:
+        if self.total is not None:
+            return f"{self.done}/{self.total}"
+        return str(self.done)
+
+    def _emit(self, message: str) -> None:
+        elapsed = time.perf_counter() - self.t0
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        tail = f" {message}" if message else ""
+        print(
+            f"[{self.label}] {self._frac()} ({rate:.1f}/s){tail}",
+            file=self.stream,
+        )

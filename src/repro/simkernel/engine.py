@@ -11,9 +11,17 @@ activity).
 from __future__ import annotations
 
 import heapq
+import time
+import warnings
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.util.rng import RngLike, make_rng
+
+
+class SimBudgetWarning(RuntimeWarning):
+    """A ``run_to_completion`` stopped at its event budget with live events
+    still queued — the simulation was truncated, not completed."""
 
 
 class SimEvent:
@@ -57,6 +65,11 @@ class Engine:
         self._heap: List[SimEvent] = []
         self._seq = 0
         self._running = False
+        #: Lifetime count of executed (non-cancelled) events; one integer
+        #: add per event keeps the hot loop free of any obs calls.
+        self.events_executed = 0
+        #: Set when a ``run_to_completion`` hit its event budget.
+        self.budget_exhausted = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -94,6 +107,7 @@ class Engine:
         ev = heapq.heappop(self._heap)
         self.now = ev.time
         ev.fn()
+        self.events_executed += 1
         return True
 
     def run_until(self, t_end_ns: int) -> None:
@@ -105,7 +119,13 @@ class Engine:
         if self._running:
             raise RuntimeError("Engine.run_until is not reentrant")
         self._running = True
+        track = obs.enabled()
+        if track:
+            wall0 = time.perf_counter_ns()
+            virt0 = self.now
+            exec0 = self.events_executed
         try:
+            executed = 0
             while True:
                 self._drop_cancelled_head()
                 if not self._heap or self._heap[0].time > t_end_ns:
@@ -113,18 +133,49 @@ class Engine:
                 ev = heapq.heappop(self._heap)
                 self.now = ev.time
                 ev.fn()
+                executed += 1
+            self.events_executed += executed
             if t_end_ns > self.now:
                 self.now = t_end_ns
         finally:
             self._running = False
+        if track:
+            self._report_run(wall0, virt0, exec0)
+
+    def _report_run(self, wall0: int, virt0: int, exec0: int) -> None:
+        """Record the finished window's throughput gauges (cold path)."""
+        wall_ns = max(1, time.perf_counter_ns() - wall0)
+        executed = self.events_executed - exec0
+        obs.counter("sim.events").inc(executed)
+        obs.gauge("sim.events_per_wall_sec").set(executed * 1e9 / wall_ns)
+        obs.gauge("sim.virtual_wall_ratio").set((self.now - virt0) / wall_ns)
+        obs.gauge("sim.pending_queue_depth").set(self.pending_count())
 
     def run_to_completion(self, max_events: int = 10_000_000) -> int:
-        """Drain the queue entirely.  Returns the number of events executed."""
+        """Drain the queue.  Returns the number of events executed.
+
+        A simulation that reaches ``max_events`` with live events still
+        queued is *truncated*, not completed: execution stops, the engine's
+        :attr:`budget_exhausted` flag is set, an obs counter is bumped and a
+        :class:`SimBudgetWarning` is emitted so callers can tell the two
+        apart.
+        """
         executed = 0
+        self.budget_exhausted = False
         while self.step():
             executed += 1
-            if executed > max_events:
-                raise RuntimeError("event budget exceeded — runaway simulation?")
+            if executed >= max_events and self.peek_time() is not None:
+                self.budget_exhausted = True
+                if obs.enabled():
+                    obs.counter("sim.budget_exhausted").inc()
+                warnings.warn(
+                    f"event budget exhausted after {executed} events with "
+                    f"{self.pending_count()} still pending — simulation "
+                    f"truncated at t={self.now}",
+                    SimBudgetWarning,
+                    stacklevel=2,
+                )
+                break
         return executed
 
     def pending_count(self) -> int:

@@ -31,6 +31,7 @@ from typing import BinaryIO, List, Union
 
 import numpy as np
 
+from repro import obs
 from repro.tracing.events import RECORD_DTYPE, RECORD_SIZE
 from repro.tracing.ringbuffer import SubBuffer
 
@@ -87,10 +88,15 @@ class Trace:
         """All records merged across CPUs, stably sorted by timestamp."""
         if not self.packets:
             return np.empty(0, dtype=RECORD_DTYPE)
-        parts = [p.records() for p in self.packets]
-        merged = np.concatenate(parts)
-        order = np.argsort(merged["time"], kind="stable")
-        return merged[order]
+        with obs.span("trace-decode"):
+            parts = [p.records() for p in self.packets]
+            merged = np.concatenate(parts)
+            order = np.argsort(merged["time"], kind="stable")
+            out = merged[order]
+        if obs.enabled():
+            obs.counter("decode.records").inc(len(out))
+            obs.counter("decode.packets").inc(len(self.packets))
+        return out
 
     def cpu_records(self, cpu: int) -> np.ndarray:
         """One CPU's records in timestamp order."""

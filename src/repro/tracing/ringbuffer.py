@@ -76,6 +76,7 @@ class RingBuffer:
         self.records_written = 0
         self.records_lost = 0
         self.overwritten_subbufs = 0
+        self.subbuf_switches = 0
         self._lost_since_switch = 0
         self._last_loss_ts = 0
 
@@ -118,6 +119,7 @@ class RingBuffer:
         self._current = SubBuffer(self.subbuf_size)
         self._current.lost_before = self._lost_since_switch
         self._lost_since_switch = 0
+        self.subbuf_switches += 1
         return True
 
     # ------------------------------------------------------------------
@@ -150,3 +152,7 @@ class RingBuffer:
 
     def unconsumed_bytes(self) -> int:
         return sum(len(sb.data) for sb in self._full) + len(self._current.data)
+
+    def occupancy(self) -> float:
+        """Unconsumed bytes as a fraction of total ring capacity."""
+        return self.unconsumed_bytes() / (self.subbuf_size * self.n_subbufs)

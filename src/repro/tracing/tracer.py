@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
+from repro import obs
 from repro.simkernel.distributions import DurationModel, from_stats
 from repro.simkernel.task import Task, TaskKind
 from repro.tracing.ctf import Packet, Trace, packet_from_subbuffer
@@ -77,6 +78,8 @@ class Tracer(TraceSink):
             for cpu in node.cpus
         ]
         self._packets: List[Packet] = []
+        self.drains = 0
+        self.subbufs_consumed = 0
         self._start_ts: Optional[int] = None
         self._attached = False
         self._finished = False
@@ -118,9 +121,17 @@ class Tracer(TraceSink):
         self.node.engine.schedule_after(self.flush_period_ns, drain)
 
     def _drain(self) -> None:
+        self.drains += 1
         for rb in self.buffers:
-            for sb in rb.consume():
+            taken = rb.consume()
+            self.subbufs_consumed += len(taken)
+            for sb in taken:
                 self._packets.append(packet_from_subbuffer(rb.cpu, sb))
+        if obs.enabled():
+            for rb in self.buffers:
+                obs.gauge("tracing.ring_occupancy", cpu=rb.cpu).set(
+                    rb.occupancy()
+                )
 
     # ------------------------------------------------------------------
     # TraceSink interface
@@ -145,8 +156,12 @@ class Tracer(TraceSink):
             raise RuntimeError("tracer was never attached")
         self._finished = True
         for rb in self.buffers:
-            for sb in rb.flush():
+            flushed = rb.flush()
+            self.subbufs_consumed += len(flushed)
+            for sb in flushed:
                 self._packets.append(packet_from_subbuffer(rb.cpu, sb))
+        if obs.enabled():
+            self._report_counters()
         trace = Trace(
             ncpus=self.node.config.ncpus,
             start_ts=self._start_ts or 0,
@@ -154,6 +169,22 @@ class Tracer(TraceSink):
             packets=sorted(self._packets, key=lambda p: (p.cpu, p.begin_ts)),
         )
         return trace
+
+    def _report_counters(self) -> None:
+        """Publish the recording's counters to the obs registry (cold path,
+        run once per trace).  Zero values register too, so loss counters
+        always appear in a self-profile even on a clean run."""
+        obs.counter("tracing.records_written").inc(self.records_written)
+        obs.counter("tracing.records_lost").inc(self.records_lost)
+        obs.counter("tracing.records_filtered").inc(self.records_filtered)
+        obs.counter("tracing.subbuf_flushes").inc(self.drains)
+        obs.counter("tracing.subbufs_consumed").inc(self.subbufs_consumed)
+        obs.counter("tracing.subbuf_switches").inc(
+            sum(rb.subbuf_switches for rb in self.buffers)
+        )
+        obs.counter("tracing.overwritten_subbufs").inc(
+            sum(rb.overwritten_subbufs for rb in self.buffers)
+        )
 
     # ------------------------------------------------------------------
     @property

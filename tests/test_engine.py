@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simkernel.engine import Engine
+from repro.simkernel.engine import Engine, SimBudgetWarning
 
 
 class TestScheduling:
@@ -122,15 +122,27 @@ class TestExecution:
             engine.schedule(i, lambda: None)
         assert engine.run_to_completion() == 5
 
-    def test_run_to_completion_budget(self):
+    def test_run_to_completion_budget_truncates_with_warning(self):
         engine = Engine()
 
         def rearm():
             engine.schedule_after(1, rearm)
 
         engine.schedule(0, rearm)
-        with pytest.raises(RuntimeError):
-            engine.run_to_completion(max_events=100)
+        with pytest.warns(SimBudgetWarning):
+            executed = engine.run_to_completion(max_events=100)
+        assert executed == 100
+        assert engine.budget_exhausted
+        assert engine.pending_count() == 1  # the rearmed event survives
+
+    def test_run_to_completion_exact_budget_not_truncated(self):
+        # Draining exactly max_events with nothing left is a completion,
+        # not a truncation.
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(i, lambda: None)
+        assert engine.run_to_completion(max_events=5) == 5
+        assert not engine.budget_exhausted
 
     def test_not_reentrant(self):
         engine = Engine()

@@ -1,0 +1,485 @@
+"""Tests for the self-observability layer (repro.obs).
+
+Covers the metrics registry (labeled series, histogram buckets,
+cross-process snapshot/merge), span nesting and exception safety, the
+no-op mode contract (disabled => zero series, near-zero overhead), and
+the ``selftrace`` CLI profile's Chrome-trace structure.
+"""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import NOOP, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts and ends with a disabled, empty global registry."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("cache.hit").inc()
+        reg.counter("cache.hit").inc(2)
+        assert reg.counter("cache.hit").value == 3
+
+    def test_labels_split_series(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("records", cpu=0).inc(5)
+        reg.counter("records", cpu=1).inc(7)
+        assert reg.counter("records", cpu=0).value == 5
+        assert reg.counter("records", cpu=1).value == 7
+        assert len(reg.series("counter")) == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("x", a=1, b=2).inc()
+        reg.counter("x", b=2, a=1).inc()
+        assert reg.counter("x", a=1, b=2).value == 2
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry(enabled=True)
+        g = reg.gauge("depth")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=(10.0, 100.0, 1000.0))
+        for v in (5, 10, 50, 500, 5000):
+            h.observe(v)
+        # counts[i] counts observations <= buckets[i]; last is overflow.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == 5565
+        assert h.min == 5 and h.max == 5000
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c", k="v").inc(9)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3)
+        snap = reg.snapshot()
+        assert snap["meta"]["pid"] > 0
+        assert snap["counters"] == [{"name": "c", "labels": {"k": "v"},
+                                     "value": 9}]
+        assert snap["gauges"][0]["value"] == 1.5
+        assert snap["histograms"][0]["count"] == 1
+        json.dumps(snap)  # must be JSON-able as-is
+
+    def test_drain_resets_but_keeps_epoch(self):
+        reg = MetricsRegistry(enabled=True)
+        epoch = reg.epoch_ns
+        reg.counter("c").inc()
+        snap = reg.drain_snapshot()
+        assert snap["counters"][0]["value"] == 1
+        assert reg.series() == []
+        assert reg.epoch_ns == epoch
+
+    def test_merge_adds_counters_and_histograms(self):
+        worker = MetricsRegistry(enabled=True)
+        worker.counter("cache.hit").inc(2)
+        worker.gauge("occ", cpu=0).set(0.5)
+        worker.histogram("lat", buckets=(10.0, 100.0)).observe(7)
+        parent = MetricsRegistry(enabled=True)
+        parent.counter("cache.hit").inc(1)
+        parent.histogram("lat", buckets=(10.0, 100.0)).observe(500)
+
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("cache.hit").value == 3
+        assert parent.gauge("occ", cpu=0).value == 0.5
+        h = parent.histogram("lat", buckets=(10.0, 100.0))
+        assert h.count == 2
+        assert h.counts == [1, 0, 1]
+        assert h.min == 7 and h.max == 500
+
+    def test_merge_snapshot_roundtrips_through_json(self):
+        worker = MetricsRegistry(enabled=True)
+        with obs.span("run", registry=worker, seed=3):
+            worker.counter("sim.events").inc(42)
+        wire = json.loads(json.dumps(worker.snapshot()))
+        parent = MetricsRegistry(enabled=True)
+        parent.merge_snapshot(wire)
+        assert parent.counter("sim.events").value == 42
+        assert parent.spans[0].name == "run"
+        assert parent.spans[0].labels == {"seed": 3}
+
+    def test_merge_keeps_worker_pid_on_spans(self):
+        worker = MetricsRegistry(enabled=True)
+        with obs.span("run", registry=worker):
+            pass
+        snap = worker.snapshot()
+        snap["spans"][0]["pid"] = 99999  # pretend another process
+        parent = MetricsRegistry(enabled=True)
+        parent.merge_snapshot(snap)
+        assert parent.spans[0].pid == 99999
+
+
+# ----------------------------------------------------------------------
+# No-op mode
+# ----------------------------------------------------------------------
+
+class TestNoopMode:
+    def test_disabled_registry_hands_out_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("c") is NOOP
+        assert reg.gauge("g") is NOOP
+        assert reg.histogram("h") is NOOP
+
+    def test_disabled_calls_leave_zero_series(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc(100)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1)
+        with obs.span("phase", registry=reg):
+            pass
+        assert reg.series() == []
+        assert reg.spans == []
+
+    def test_global_facade_noop_when_disabled(self):
+        obs.counter("never").inc()
+        with obs.span("never"):
+            pass
+        snap = obs.snapshot()
+        assert snap["counters"] == []
+        assert snap["spans"] == []
+
+    def test_enable_disable_roundtrip(self):
+        import os
+
+        from repro.obs.metrics import OBS_ENV
+
+        assert not obs.enabled()
+        obs.enable()
+        assert obs.enabled()
+        assert os.environ.get(OBS_ENV) == "1"
+        obs.counter("c").inc()
+        obs.disable()
+        assert not obs.enabled()
+        assert OBS_ENV not in os.environ
+        # Already-recorded series survive disable (kept for export).
+        assert obs.snapshot()["counters"][0]["value"] == 1
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+class TestSpans:
+    def test_records_wall_and_cpu(self):
+        reg = MetricsRegistry(enabled=True)
+        with obs.span("work", registry=reg):
+            time.sleep(0.005)
+        (rec,) = reg.spans
+        assert rec.name == "work"
+        assert rec.dur_ns >= 4_000_000
+        assert rec.cpu_ns >= 0
+        assert rec.error is False
+
+    def test_nesting_depth(self):
+        reg = MetricsRegistry(enabled=True)
+        with obs.span("outer", registry=reg):
+            assert obs.current_depth() == 1
+            with obs.span("inner", registry=reg):
+                assert obs.current_depth() == 2
+        assert obs.current_depth() == 0
+        by_name = {r.name: r for r in reg.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_exception_recorded_and_propagated(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(KeyError):
+            with obs.span("boom", registry=reg):
+                raise KeyError("x")
+        (rec,) = reg.spans
+        assert rec.error is True
+        assert obs.current_depth() == 0  # stack unwound cleanly
+
+    def test_decorator_form(self):
+        obs.enable()
+
+        @obs.span("fn", flavor="test")
+        def double(x):
+            return 2 * x
+
+        assert double(3) == 6
+        assert double(4) == 8
+        spans = obs.REGISTRY.spans
+        assert [s.name for s in spans] == ["fn", "fn"]
+        assert spans[0].labels == {"flavor": "test"}
+
+    def test_threads_have_independent_stacks(self):
+        reg = MetricsRegistry(enabled=True)
+        depths = []
+
+        def worker():
+            with obs.span("t", registry=reg):
+                depths.append(obs.current_depth())
+
+        with obs.span("main", registry=reg):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert depths == [1]  # not 2: the main thread's span is invisible
+        assert {r.depth for r in reg.spans} == {0}
+
+    def test_mem_peak_reported(self):
+        reg = MetricsRegistry(enabled=True)
+        with obs.span("mem", registry=reg):
+            pass
+        assert reg.spans[0].mem_peak_kb is None or reg.spans[0].mem_peak_kb > 0
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+
+class TestExport:
+    def _populated(self):
+        obs.enable()
+        with obs.span("simulate", workload="FTQ"):
+            with obs.span("inner"):
+                pass
+        obs.counter("tracing.records_lost").inc(0)
+        obs.counter("cache.hit").inc(3)
+        obs.gauge("occ", cpu=0).set(0.25)
+        obs.histogram("lat").observe(12)
+        return obs.snapshot()
+
+    def test_jsonl_lines_parse(self, tmp_path):
+        snap = self._populated()
+        path = str(tmp_path / "t.jsonl")
+        n = obs.write_jsonl(path, snap)
+        lines = [json.loads(line) for line in open(path)]
+        assert n == len(lines)
+        kinds = {line["type"] for line in lines}
+        assert {"meta", "counter", "gauge", "histogram", "span"} <= kinds
+
+    def test_chrome_trace_loads_back(self, tmp_path):
+        snap = self._populated()
+        path = str(tmp_path / "t.json")
+        obs.write_chrome_trace(path, snap)
+        from repro.io import read_chrome_trace
+
+        events = read_chrome_trace(path)
+        complete = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"simulate", "inner"}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+        assert any("cache.hit" in e["name"] for e in counters)
+        # Zero-valued counters still export (loss counters must be visible).
+        assert any("records_lost" in e["name"] for e in counters)
+        assert any(e["name"] == "process_name" for e in metas)
+
+    def test_aggregate(self):
+        snap = self._populated()
+        agg = obs.aggregate(snap)
+        assert agg["counters"]["cache.hit"] == 3
+        assert agg["spans"]["simulate"]["count"] == 1
+        assert agg["spans"]["simulate"]["total_ms"] >= 0
+
+
+# ----------------------------------------------------------------------
+# Heartbeat
+# ----------------------------------------------------------------------
+
+class TestHeartbeat:
+    def test_ticks_and_finish(self):
+        obs.enable()
+        out = io.StringIO()
+        hb = obs.Heartbeat("load", total=4, interval_s=0.0, stream=out)
+        hb.tick(1)
+        hb.tick(2, "halfway...")
+        hb.finish("done")
+        text = out.getvalue()
+        assert "[load] 1/4" in text
+        assert "halfway..." in text
+        assert "done" in text
+        snap = obs.snapshot()
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in snap["counters"]
+        }
+        assert counters[("progress.heartbeats", (("label", "load"),))] == 2
+
+    def test_rate_limited(self):
+        obs.enable()
+        out = io.StringIO()
+        hb = obs.Heartbeat("x", total=100, interval_s=3600.0, stream=out)
+        for i in range(50):
+            hb.tick(i + 1)
+        # First tick prints, the rest fall inside the interval.
+        assert out.getvalue().count("\n") == 1
+
+
+# ----------------------------------------------------------------------
+# Overhead guard: disabled instrumentation must be ~free
+# ----------------------------------------------------------------------
+
+class _StubSpan:
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def __call__(self, fn):
+        return fn
+
+
+class _StubObs:
+    """Same surface as repro.obs with every call compiled away."""
+
+    span = _StubSpan
+    Heartbeat = None
+
+    @staticmethod
+    def enabled():
+        return False
+
+    @staticmethod
+    def counter(name, **labels):
+        return NOOP
+
+    gauge = counter
+    histogram = counter
+
+    @staticmethod
+    def drain_snapshot():
+        return {}
+
+    @staticmethod
+    def merge_snapshot(snap):
+        pass
+
+
+#: Every module the PR instrumented; the guard stubs obs out of all of them.
+_INSTRUMENTED = (
+    "repro.simkernel.engine",
+    "repro.tracing.tracer",
+    "repro.tracing.ctf",
+    "repro.core.nesting",
+    "repro.core.classify",
+    "repro.core.analysis",
+    "repro.exec.cache",
+    "repro.exec.runner",
+    "repro.core.sweep",
+)
+
+
+def _pipeline_once():
+    from repro.core import NoiseAnalysis, TraceMeta
+    from repro.workloads import FTQWorkload
+    from repro.util.units import SEC
+
+    node, trace = FTQWorkload().run_traced(1 * SEC, seed=3, ncpus=2)
+    analysis = NoiseAnalysis(trace, meta=TraceMeta.from_node(node))
+    analysis.stats_by_event()
+    analysis.total_noise_ns()
+
+
+class TestDisabledOverhead:
+    def test_disabled_overhead_under_two_percent(self, monkeypatch):
+        """A 1s FTQ pipeline with obs disabled must cost within 2% of the
+        same pipeline with every obs call stubbed out entirely."""
+        import importlib
+
+        def best_of(n):
+            best = float("inf")
+            for _ in range(n):
+                t0 = time.perf_counter()
+                _pipeline_once()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        assert not obs.enabled()
+        _pipeline_once()  # warm imports and caches for both arms
+        instrumented = best_of(5)
+
+        stub = _StubObs()
+        for modname in _INSTRUMENTED:
+            monkeypatch.setattr(
+                importlib.import_module(modname), "obs", stub
+            )
+        stubbed = best_of(5)
+
+        # 2% plus a 2ms grace against scheduler jitter on tiny baselines.
+        assert instrumented <= stubbed * 1.02 + 0.002, (
+            f"disabled-mode overhead too high: instrumented {instrumented:.4f}s"
+            f" vs stubbed {stubbed:.4f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# selftrace CLI profile
+# ----------------------------------------------------------------------
+
+class TestSelftrace:
+    def test_profile_structure(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import read_chrome_trace
+
+        out = str(tmp_path / "prof.json")
+        rc = main(["selftrace", "--workload", "FTQ", "--duration", "300ms",
+                   "--ncpus", "2", "--out", out])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "phases:" in stdout and "counters:" in stdout
+
+        events = read_chrome_trace(out)
+        spans = {e["name"] for e in events if e["ph"] == "X"}
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        # The acceptance set: every pipeline phase shows up.
+        assert {"simulate", "trace-decode", "nesting", "classify",
+                "analysis"} <= spans
+        assert all(e["ts"] >= 0 and e["dur"] >= 0
+                   for e in events if e["ph"] == "X")
+        assert any("records_lost" in name for name in counters)
+        assert any("cache.hit" in name for name in counters)
+        assert any("cache.miss" in name for name in counters)
+        assert any(e["name"] == "process_name" for e in events
+                   if e["ph"] == "M")
+        # main() cleaned up: the next command starts unobserved.
+        assert not obs.enabled()
+        assert obs.snapshot()["spans"] == []
+
+    def test_selftrace_config_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = tmp_path / "cfg.json"
+        config.write_text(json.dumps(
+            {"workload": "FTQ", "duration": "200ms", "seed": 1, "ncpus": 2}
+        ))
+        out = str(tmp_path / "p.json")
+        rc = main(["selftrace", "--config", str(config), "--out", out])
+        assert rc == 0
+        assert "seed 1" in capsys.readouterr().out
+
+    def test_unknown_workload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["selftrace", "--workload", "HPL",
+                   "--out", str(tmp_path / "x.json")])
+        assert rc == 2
