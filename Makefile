@@ -5,7 +5,7 @@ PYTHON ?= python
 # caller-provided PYTHONPATH instead of clobbering it.
 PYENV = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench sweep selftrace figures examples coverage clean
+.PHONY: install test test-fast bench check lint sweep selftrace figures examples coverage clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,23 @@ test-fast:
 
 bench:
 	$(PYENV) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Static analysis.  noiselint (src/repro/check) is dependency-free and
+# always runs; ruff and mypy run when installed (CI installs them).
+check:
+	$(PYENV) $(PYTHON) -m repro.cli check src
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it)"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYENV) $(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (CI runs it)"; \
+	fi
+
+lint: check
 
 # Exercise the parallel runner + result cache on a small seed set; a
 # second invocation is served entirely from .sweep-cache.

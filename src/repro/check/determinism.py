@@ -1,0 +1,185 @@
+"""DET rules: bit-determinism of the simulation and analysis code.
+
+Identical seeds must give bit-identical traces and bit-identical analysis
+results (DESIGN.md §6; the serial/parallel sweep equivalence tests depend
+on it).  Three things break that silently:
+
+* reading the host wall clock inside simulated time;
+* drawing from a global RNG instead of the seeded per-subsystem streams
+  handed out by :mod:`repro.util.rng`;
+* iterating an unordered set where the order reaches output (with string
+  elements the order changes across *processes* under hash randomization,
+  which is exactly the serial-vs-parallel case).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.check.framework import (
+    REGISTRY,
+    Rule,
+    Severity,
+    SourceFile,
+    Violation,
+    call_name,
+)
+
+#: Where determinism is contractual.
+DETERMINISTIC_SCOPE = (
+    "repro/simkernel/",
+    "repro/core/",
+    "repro/tracing/",
+)
+
+#: Host wall-clock reads (any of these inside simulated code is a bug).
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+})
+
+#: Unseeded / global randomness sources.
+_GLOBAL_RANDOM_RE = re.compile(
+    r"^(random|np\.random|numpy\.random|secrets)\."
+)
+_GLOBAL_RANDOM_EXACT = frozenset({"os.urandom", "uuid.uuid4", "uuid.uuid1"})
+
+
+@REGISTRY.register
+class WallClockRule(Rule):
+    id = "DET001"
+    name = "no-wall-clock"
+    severity = Severity.ERROR
+    scope = DETERMINISTIC_SCOPE
+    hint = (
+        "simulated code must read the simulation clock (engine.now); host "
+        "wall-clock reads belong in obs/ or behind a justified pragma"
+    )
+    rationale = (
+        "A wall-clock read inside the simulation makes traces differ "
+        "between runs of the same seed."
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        for node in src.walk():
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in WALL_CLOCK_CALLS:
+                    yield self.violation(
+                        src, node,
+                        f"wall-clock call {name}() in deterministic code",
+                    )
+
+
+@REGISTRY.register
+class GlobalRandomRule(Rule):
+    id = "DET002"
+    name = "no-global-rng"
+    severity = Severity.ERROR
+    scope = DETERMINISTIC_SCOPE
+    hint = (
+        "draw from a seeded numpy Generator handed out by "
+        "util/rng.make_rng or util/rng.spawn_rngs"
+    )
+    rationale = (
+        "Global RNG state is shared, unseeded, and not reproducible "
+        "across processes; every stream must derive from the run seed."
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        for node in src.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("random", "secrets"):
+                        yield self.violation(
+                            src, node,
+                            f"import of global-RNG module {alias.name!r}",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("random", "secrets"):
+                    yield self.violation(
+                        src, node,
+                        f"import from global-RNG module {node.module!r}",
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if not name:
+                    continue
+                if name in _GLOBAL_RANDOM_EXACT or (
+                    _GLOBAL_RANDOM_RE.match(name)
+                    # Annotations aside, np.random.Generator is only ever
+                    # *called* to build an unseeded generator — still flag.
+                ):
+                    yield self.violation(
+                        src, node,
+                        f"global randomness source {name}()",
+                    )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in ("set", "frozenset")
+    return False
+
+
+#: Reductions whose result does not depend on iteration order: a set-fed
+#: comprehension directly inside one of these is fine.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "set", "frozenset", "sum", "min", "max", "len", "any", "all",
+})
+
+
+@REGISTRY.register
+class SetIterationRule(Rule):
+    id = "DET003"
+    name = "no-unordered-set-iteration"
+    severity = Severity.ERROR
+    scope = DETERMINISTIC_SCOPE
+    hint = (
+        "iterate sorted(<set>) so the order is defined (a comprehension "
+        "consumed whole by sorted()/sum()/min()/max() is exempt)"
+    )
+    rationale = (
+        "Set iteration order depends on hashes; with str elements it "
+        "changes across processes, breaking serial-vs-parallel "
+        "bit-identity."
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        exempt = set()
+        for node in src.walk():
+            if (
+                isinstance(node, ast.Call)
+                and call_name(node) in _ORDER_INSENSITIVE
+            ):
+                for arg in node.args:
+                    if isinstance(arg, (ast.ListComp, ast.SetComp,
+                                        ast.GeneratorExp)):
+                        exempt.add(id(arg))
+        for node in src.walk():
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                if id(node) in exempt:
+                    continue
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.violation(
+                        src, it,
+                        "iteration over an unordered set",
+                    )

@@ -1,0 +1,192 @@
+"""Drive the registered rules over a file set and account for pragmas.
+
+The engine walks the given paths for ``*.py`` files, parses each once into
+a :class:`~repro.check.framework.SourceFile`, runs every applicable rule,
+then applies suppression pragmas.  Pragma hygiene is checked here rather
+than in a rule pack because it must see the post-suppression state:
+
+* ``NL001`` (error): a ``disable`` pragma with no ``-- reason`` string;
+* ``NL002`` (error): a pragma naming an unknown rule id;
+* ``NL003`` (warning): a pragma that suppressed nothing (stale after a
+  refactor — delete it so real violations cannot hide behind it);
+* ``NL004`` (error): a file that does not parse at all.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.framework import (
+    REGISTRY,
+    ProjectRule,
+    Severity,
+    SourceFile,
+    Violation,
+)
+
+#: Files no rule ever checks.  ``core/reference.py`` is the seed object
+#: pipeline kept verbatim as the differential-testing baseline (PR 2); it
+#: intentionally preserves pre-columnar idioms the linter now forbids.
+EXCLUDED_MODPATHS: Tuple[str, ...] = (
+    "repro/core/reference.py",
+)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one engine run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(
+            1 for v in self.violations if v.severity == Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> int:
+        return sum(
+            1 for v in self.violations if v.severity == Severity.WARNING
+        )
+
+    @property
+    def failed(self) -> bool:
+        """INFO findings never fail a run; warnings and errors do."""
+        return self.errors > 0 or self.warnings > 0
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(path)
+    return sorted(dict.fromkeys(found))
+
+
+def load_files(paths: Sequence[str]) -> List[SourceFile]:
+    sources: List[SourceFile] = []
+    for path in discover_files(paths):
+        with open(path, encoding="utf-8") as fp:
+            text = fp.read()
+        sources.append(SourceFile(path, text))
+    return sources
+
+
+def run_check(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    sources: Optional[Sequence[SourceFile]] = None,
+) -> CheckResult:
+    """Run every registered rule over ``paths``.
+
+    ``select``/``ignore`` restrict the rule set by id (pragma hygiene runs
+    regardless).  ``sources`` bypasses file discovery for tests.
+    """
+    selected = {r.upper() for r in select} if select else None
+    ignored = {r.upper() for r in ignore} if ignore else set()
+    if sources is None:
+        sources = load_files(paths)
+    sources = [
+        s for s in sources if s.modpath not in EXCLUDED_MODPATHS
+    ]
+    result = CheckResult(files_checked=len(sources))
+
+    raw: List[Violation] = []
+    rules = [
+        r for r in REGISTRY
+        if (selected is None or r.id in selected) and r.id not in ignored
+    ]
+    for src in sources:
+        if src.parse_error is not None:
+            raw.append(Violation(
+                rule="NL004",
+                severity=Severity.ERROR,
+                path=src.path,
+                line=src.parse_error.lineno or 1,
+                col=(src.parse_error.offset or 1) - 1,
+                message=f"file does not parse: {src.parse_error.msg}",
+                hint="noiselint needs valid Python to check contracts",
+            ))
+            continue
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            if rule.applies_to(src):
+                raw.extend(rule.check(src))
+    parsed = [s for s in sources if s.parse_error is None]
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(parsed))
+
+    # Suppression pass: a violation survives unless a justified pragma on
+    # its line (or a file-level pragma) names its rule.
+    by_path = {s.path: s for s in sources}
+    for violation in raw:
+        src = by_path.get(violation.path)
+        if src is not None and src.suppresses(violation) is not None:
+            result.suppressed.append(violation)
+        else:
+            result.violations.append(violation)
+
+    # Pragma hygiene (never suppressible — these are about the pragmas).
+    for src in sources:
+        for pragma in src.pragmas:
+            if not pragma.reason:
+                result.violations.append(Violation(
+                    rule="NL001",
+                    severity=Severity.ERROR,
+                    path=src.path,
+                    line=pragma.line,
+                    col=0,
+                    message=f"suppression without a reason: {pragma.raw!r}",
+                    hint="append ' -- <why this is safe>' to the pragma",
+                ))
+            for rule_id in pragma.rules:
+                if rule_id != "ALL" and rule_id not in REGISTRY:
+                    result.violations.append(Violation(
+                        rule="NL002",
+                        severity=Severity.ERROR,
+                        path=src.path,
+                        line=pragma.line,
+                        col=0,
+                        message=f"pragma names unknown rule {rule_id}",
+                        hint="see `lttng-noise check --list-rules`",
+                    ))
+            if (pragma.reason and not pragma.used
+                    and selected is None and not ignored):
+                # With a restricted rule set, "unused" is meaningless —
+                # the suppressed rule may simply not have run.
+                result.violations.append(Violation(
+                    rule="NL003",
+                    severity=Severity.WARNING,
+                    path=src.path,
+                    line=pragma.line,
+                    col=0,
+                    message=(
+                        "stale suppression: pragma matched no violation "
+                        f"({', '.join(pragma.rules)})"
+                    ),
+                    hint="delete the pragma; the code is clean without it",
+                ))
+
+    result.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    result.suppressed.sort(key=lambda v: (v.path, v.line, v.rule))
+    return result

@@ -1,0 +1,163 @@
+"""HOT rules: the hot paths stay columnar and observation-free.
+
+PR 2 made the analysis core columnar precisely so that no per-row Python
+loop survives on the hot path; PR 3 added self-observability under the
+contract that a disabled obs layer costs one branch — which only holds if
+no obs call sits *inside* a hot loop.  Both contracts are markable and
+checkable:
+
+* ``HOT001`` — in the columnar core modules, a ``for`` that walks
+  ActivityTable rows or columns (``.rows()``, ``table.data["col"]``,
+  ``.tolist()`` of a column) reintroduces the O(rows) interpreter loop
+  the refactor removed;
+* ``HOT002`` — a loop annotated ``# hot`` must not call into
+  :mod:`repro.obs`; keep a plain integer tally and publish it at the
+  window boundary (the idiom of ``Engine.run_until``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from repro.check.framework import (
+    REGISTRY,
+    Rule,
+    Severity,
+    SourceFile,
+    Violation,
+    call_name,
+    iter_loops,
+)
+
+#: The modules PR 2 made columnar: per-row Python iteration is forbidden.
+COLUMNAR_MODULES = (
+    "repro/core/nesting.py",
+    "repro/core/classify.py",
+    "repro/core/analysis.py",
+)
+
+#: ActivityTable column names (see repro.core.model.ACTIVITY_DTYPE).
+ACTIVITY_COLUMNS = frozenset({
+    "event", "cpu", "pid", "start", "end", "total_ns", "self_ns",
+    "depth", "arg", "category", "is_noise", "truncated", "displaced_pid",
+})
+
+_HOT_MARK_RE = re.compile(r"#\s*hot\b")
+
+
+def _is_column_subscript(node: ast.AST) -> bool:
+    """``<x>.data["col"]`` or ``<name>["col"]`` for an activity column."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    key = node.slice
+    if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+        return False
+    if key.value not in ACTIVITY_COLUMNS:
+        return False
+    value = node.value
+    if isinstance(value, ast.Attribute) and value.attr == "data":
+        return True
+    return isinstance(value, ast.Name)
+
+
+def _row_iteration(expr: ast.AST) -> bool:
+    """True when ``expr``, used as a loop iterator, walks table rows."""
+    candidates: List[ast.AST] = [expr]
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        if name in ("zip", "enumerate", "reversed", "list"):
+            candidates = list(expr.args)
+    for cand in candidates:
+        # .tolist() of a column is still a per-row walk.
+        if (
+            isinstance(cand, ast.Call)
+            and isinstance(cand.func, ast.Attribute)
+            and cand.func.attr == "tolist"
+        ):
+            cand = cand.func.value
+        if _is_column_subscript(cand):
+            return True
+        if (
+            isinstance(cand, ast.Call)
+            and isinstance(cand.func, ast.Attribute)
+            and cand.func.attr == "rows"
+        ):
+            return True
+    return False
+
+
+@REGISTRY.register
+class ColumnarLoopRule(Rule):
+    id = "HOT001"
+    name = "no-per-row-loops-in-columnar-core"
+    severity = Severity.ERROR
+    scope = COLUMNAR_MODULES
+    hint = (
+        "replace the row walk with masks / np.unique / searchsorted / "
+        "np.add.at (see docs/analysis.md); .rows() is for object-path "
+        "consumers only"
+    )
+    rationale = (
+        "The columnar refactor's >=5x analyze speedup holds only while "
+        "no per-row Python loop exists in these modules."
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        for node in src.walk():
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [(node, node.iter)]
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                iters = [(node, gen.iter) for gen in node.generators]
+            for owner, it in iters:
+                if _row_iteration(it):
+                    yield self.violation(
+                        src, owner,
+                        "per-row Python iteration over ActivityTable data",
+                    )
+
+
+@REGISTRY.register
+class ObsInHotLoopRule(Rule):
+    id = "HOT002"
+    name = "no-obs-in-hot-loops"
+    severity = Severity.ERROR
+    scope = ()  # applies everywhere a "# hot" mark appears
+    hint = (
+        "keep a plain int tally inside the loop and publish it to obs "
+        "once at the window boundary (Engine.run_until idiom)"
+    )
+    rationale = (
+        "The obs layer's disabled cost is one branch per *window*, not "
+        "per event; any obs call inside a # hot loop breaks the <2% "
+        "overhead guarantee."
+    )
+
+    def _is_hot(self, src: SourceFile, loop: ast.AST) -> bool:
+        lineno = getattr(loop, "lineno", 0)
+        for candidate in (lineno, lineno - 1):
+            if 1 <= candidate <= len(src.lines) and _HOT_MARK_RE.search(
+                src.lines[candidate - 1]
+            ):
+                return True
+        return False
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        if "# hot" not in src.text:
+            return
+        for loop in iter_loops(src.tree):
+            if not self._is_hot(src, loop):
+                continue
+            for node in ast.walk(loop):
+                if node is loop:
+                    continue
+                if isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name == "obs" or name.startswith("obs."):
+                        yield self.violation(
+                            src, node,
+                            f"obs call {name}() inside a # hot loop",
+                        )

@@ -1,0 +1,190 @@
+"""NSX rules: nanosecond arithmetic stays in exact int64.
+
+All timestamps and durations in this codebase are integer nanoseconds
+(``*_ns`` names, the ``start``/``end``/``total_ns``/``self_ns`` columns of
+an ActivityTable).  int64 holds ~292 years of nanoseconds exactly; float64
+loses integer exactness above 2**53 ns (~104 days) and, worse, makes
+"equal" totals differ in the last bits between code paths — which the
+differential tests (columnar vs. reference, serial vs. parallel) would
+surface as flaky mismatches.  Ratios *of* two ns quantities are
+dimensionless and may be float; a float must just never flow back into an
+ns-typed slot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.check.framework import (
+    REGISTRY,
+    Rule,
+    Severity,
+    SourceFile,
+    Violation,
+    call_name,
+)
+
+#: Where ns-exactness is contractual.
+NS_SCOPE = (
+    "repro/simkernel/",
+    "repro/core/",
+    "repro/tracing/",
+    "repro/io/",
+    "repro/workloads/",
+)
+
+#: ActivityTable / record-array time columns (int64 ns by dtype).
+TIME_COLUMNS = frozenset({"start", "end", "total_ns", "self_ns", "time"})
+
+
+def _ns_named(node: ast.AST) -> Optional[str]:
+    """Name of an ns-typed slot (``*_ns`` name/attribute, or a time-column
+    subscript like ``d["start"]``), else None."""
+    if isinstance(node, ast.Name) and node.id.endswith("_ns"):
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr.endswith("_ns"):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        key = node.slice
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            if key.value in TIME_COLUMNS or key.value.endswith("_ns"):
+                return key.value
+    return None
+
+
+def _contains_ns_operand(expr: ast.AST) -> bool:
+    return any(_ns_named(n) is not None for n in ast.walk(expr))
+
+
+def _explicitly_quantized(expr: ast.AST) -> bool:
+    """``int(...)``/``round(...)`` at the top of the value expression is
+    the sanctioned float->ns boundary (continuous model -> ns grid, as in
+    simkernel/distributions.py samples).  ``max``/``min``/``abs`` clamps
+    around it are transparent as long as every non-literal arm is itself
+    quantized (``max(1, int(rng.exponential(...)))``)."""
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        if name in ("int", "round"):
+            return True
+        if name in ("max", "min", "abs") and expr.args:
+            return all(
+                isinstance(arg, ast.Constant) or _explicitly_quantized(arg)
+                for arg in expr.args
+            )
+    return False
+
+
+def _float_taint(expr: ast.AST) -> Optional[ast.AST]:
+    """First float-producing sub-expression in ``expr``, if any: a true
+    division, a float literal, or a ``float(...)`` cast."""
+    if _explicitly_quantized(expr):
+        return None
+    for node in ast.walk(expr):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return node
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return node
+        if isinstance(node, ast.Call) and call_name(node) == "float":
+            return node
+    return None
+
+
+@REGISTRY.register
+class FloatIntoNsSlotRule(Rule):
+    id = "NSX001"
+    name = "no-float-into-ns-slot"
+    severity = Severity.ERROR
+    scope = NS_SCOPE
+    hint = (
+        "keep ns values in int64: use // for division, int literals, and "
+        "round-then-int only in blessed reporting code"
+    )
+    rationale = (
+        "A float assigned to a *_ns name or time column silently degrades "
+        "every downstream total from exact to approximate."
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        for node in src.walk():
+            targets = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+                if isinstance(node.op, ast.Div):
+                    name = _ns_named(node.target)
+                    if name is not None:
+                        yield self.violation(
+                            src, node,
+                            f"/= on ns-typed {name!r} leaves a float",
+                        )
+                        continue
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg and kw.arg.endswith("_ns"):
+                        taint = _float_taint(kw.value)
+                        if taint is not None:
+                            yield self.violation(
+                                src, kw.value,
+                                f"float expression passed as {kw.arg}=",
+                            )
+                continue
+            if value is None:
+                continue
+            for target in targets:
+                name = _ns_named(target)
+                if name is None:
+                    continue
+                taint = _float_taint(value)
+                if taint is not None:
+                    what = (
+                        "true division" if isinstance(taint, ast.BinOp)
+                        else "float value"
+                    )
+                    yield self.violation(
+                        src, node,
+                        f"{what} assigned to ns-typed {name!r}",
+                    )
+
+
+@REGISTRY.register
+class TruncatedDivisionRule(Rule):
+    id = "NSX002"
+    name = "no-int-of-float-division"
+    severity = Severity.ERROR
+    scope = NS_SCOPE
+    hint = (
+        "int(a / b) routes int64 ns through float64 (exact only below "
+        "2**53); write a // b"
+    )
+    rationale = (
+        "Truncating a float division of ns quantities is wrong for large "
+        "timestamps and differs from floor division on negatives."
+    )
+
+    _TRUNCATORS = frozenset({"int", "math.floor", "np.floor", "numpy.floor"})
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        for node in src.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name not in self._TRUNCATORS or len(node.args) != 1:
+                continue
+            arg = node.args[0]
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.BinOp)
+                    and isinstance(sub.op, ast.Div)
+                    and (_contains_ns_operand(sub.left)
+                         or _contains_ns_operand(sub.right))
+                ):
+                    yield self.violation(
+                        src, node,
+                        f"{name}() of a true division on ns operands",
+                    )
+                    break

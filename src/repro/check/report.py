@@ -1,0 +1,106 @@
+"""Text and JSON reporters for noiselint results.
+
+The JSON schema (version 1) is stable and documented in
+``docs/static-analysis.md``; CI and editor integrations parse it::
+
+    {
+      "version": 1,
+      "tool": "noiselint",
+      "files_checked": 63,
+      "summary": {"errors": 0, "warnings": 0, "infos": 0,
+                  "suppressed": 4, "failed": false},
+      "violations": [
+        {"rule": "DET001", "severity": "error",
+         "path": "src/repro/simkernel/engine.py", "line": 12, "col": 8,
+         "message": "...", "hint": "..."}
+      ],
+      "suppressed": [ ...same shape... ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.check.engine import CheckResult
+from repro.check.framework import Severity, Violation
+
+#: Bump when the JSON shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: CheckResult, verbose: bool = False) -> str:
+    """Human-readable report: one ``path:line:col: RULE severity:`` block
+    per violation, with its fix hint, then a summary line."""
+    out: List[str] = []
+    for v in result.violations:
+        out.append(
+            f"{v.path}:{v.line}:{v.col + 1}: {v.rule} "
+            f"{v.severity.label()}: {v.message}"
+        )
+        if v.hint:
+            out.append(f"    hint: {v.hint}")
+    if verbose and result.suppressed:
+        out.append("")
+        for v in result.suppressed:
+            out.append(
+                f"{v.path}:{v.line}:{v.col + 1}: {v.rule} suppressed: "
+                f"{v.message}"
+            )
+    infos = sum(
+        1 for v in result.violations if v.severity == Severity.INFO
+    )
+    out.append(
+        f"checked {result.files_checked} files: "
+        f"{result.errors} errors, {result.warnings} warnings, "
+        f"{infos} infos, {len(result.suppressed)} suppressed"
+    )
+    return "\n".join(out)
+
+
+def _violation_dict(v: Violation) -> Dict[str, Any]:
+    return {
+        "rule": v.rule,
+        "severity": v.severity.label(),
+        "path": v.path,
+        "line": v.line,
+        "col": v.col,
+        "message": v.message,
+        "hint": v.hint,
+    }
+
+
+def render_json(result: CheckResult) -> str:
+    infos = sum(
+        1 for v in result.violations if v.severity == Severity.INFO
+    )
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "noiselint",
+        "files_checked": result.files_checked,
+        "summary": {
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "infos": infos,
+            "suppressed": len(result.suppressed),
+            "failed": result.failed,
+        },
+        "violations": [_violation_dict(v) for v in result.violations],
+        "suppressed": [_violation_dict(v) for v in result.suppressed],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_list() -> str:
+    """The rule catalog for ``--list-rules``."""
+    from repro.check.framework import all_rules
+
+    out: List[str] = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "all files"
+        out.append(f"{rule.id} [{rule.severity.label()}] {rule.name}")
+        out.append(f"    scope: {scope}")
+        if rule.rationale:
+            out.append(f"    {rule.rationale}")
+    return "\n".join(out)

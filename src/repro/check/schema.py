@@ -1,0 +1,355 @@
+"""SCH rules: cross-file trace-vocabulary consistency.
+
+The trace vocabulary lives in three places that must agree: the event
+definitions (``repro/tracing/events.py`` — the ``Ev`` enum, the paired /
+point split at ``FIRST_POINT_EVENT``, the ``EVENT_NAMES`` table), the
+emit sites in the simulated kernel, and the classifier's category table
+(``EVENT_CATEGORY`` in ``repro/core/model.py``, from which classify.py
+builds its event-id LUT).  A drifting member shows up at runtime as an
+activity silently categorized OTHER or a point event with a dangling
+EXIT — these rules catch it at lint time instead.
+
+The vocabulary is parsed from the scanned file set when it contains
+``repro/tracing/events.py`` (so fixtures can fake one); otherwise it is
+resolved on disk next to any scanned ``repro/`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.check.framework import (
+    REGISTRY,
+    ProjectRule,
+    Severity,
+    SourceFile,
+    Violation,
+    call_name,
+)
+
+EVENTS_MODPATH = "repro/tracing/events.py"
+MODEL_MODPATH = "repro/core/model.py"
+
+#: Pseudo event ids defined in model.py, legal EVENT_CATEGORY keys.
+PSEUDO_EVENT_NAMES = ("PREEMPT_EVENT", "TRACER_PREEMPT_EVENT")
+
+
+@dataclass
+class Vocabulary:
+    """The parsed trace-event vocabulary."""
+
+    members: Dict[str, int] = field(default_factory=dict)  # Ev.X -> id
+    first_point_event: Optional[int] = None
+    named: Set[str] = field(default_factory=set)       # EVENT_NAMES keys
+    categorized: Set[str] = field(default_factory=set)  # EVENT_CATEGORY keys
+    events_src: Optional[SourceFile] = None
+    model_src: Optional[SourceFile] = None
+
+    def is_paired(self, member: str) -> Optional[bool]:
+        value = self.members.get(member)
+        if value is None or self.first_point_event is None:
+            return None
+        return value < self.first_point_event
+
+
+def _find_source(
+    files: Sequence[SourceFile], modpath: str
+) -> Optional[SourceFile]:
+    for src in files:
+        if src.modpath == modpath:
+            return src
+    # Fall back to disk, anchored at any scanned repro/ module.
+    for src in files:
+        if not src.modpath.startswith("repro/"):
+            continue
+        depth = src.modpath.count("/")
+        root = os.path.normpath(src.path)
+        for _ in range(depth):
+            root = os.path.dirname(root)
+        candidate = os.path.join(root, *modpath.split("/")[1:])
+        if os.path.isfile(candidate):
+            with open(candidate, encoding="utf-8") as fp:
+                return SourceFile(candidate, fp.read(), modpath=modpath)
+    return None
+
+
+def load_vocabulary(files: Sequence[SourceFile]) -> Vocabulary:
+    vocab = Vocabulary()
+    vocab.events_src = _find_source(files, EVENTS_MODPATH)
+    vocab.model_src = _find_source(files, MODEL_MODPATH)
+    if vocab.events_src is not None and vocab.events_src.tree is not None:
+        _parse_events(vocab, vocab.events_src.tree)
+    if vocab.model_src is not None and vocab.model_src.tree is not None:
+        _parse_model(vocab, vocab.model_src.tree)
+    return vocab
+
+
+def _parse_events(vocab: Vocabulary, tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "Ev":
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, int)
+                ):
+                    vocab.members[stmt.targets[0].id] = stmt.value.value
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "FIRST_POINT_EVENT" and isinstance(
+                    node.value, ast.Constant
+                ):
+                    vocab.first_point_event = int(node.value.value)
+                elif target.id == "EVENT_NAMES" and isinstance(
+                    node.value, ast.Dict
+                ):
+                    for key in node.value.keys:
+                        member = _ev_member(key)
+                        if member:
+                            vocab.named.add(member)
+
+
+def _parse_model(vocab: Vocabulary, tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Name)
+                    and target.id == "EVENT_CATEGORY"
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    continue
+                for key in node.value.keys:
+                    member = _ev_member(key)
+                    if member:
+                        vocab.categorized.add(member)
+                    elif (
+                        isinstance(key, ast.Name)
+                        and key.id in PSEUDO_EVENT_NAMES
+                    ):
+                        vocab.categorized.add(key.id)
+
+
+def _ev_member(node: Optional[ast.AST]) -> Optional[str]:
+    """``Ev.X`` -> ``"X"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "Ev"
+    ):
+        return node.attr
+    return None
+
+
+class _SchemaRule(ProjectRule):
+    """Shared scaffolding: parse the vocabulary once per project pass."""
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterable[Violation]:
+        vocab = load_vocabulary(files)
+        if not vocab.members:
+            return ()  # no vocabulary in reach (e.g. fixture-only runs)
+        return self.check_vocab(vocab, files)
+
+    def check_vocab(
+        self, vocab: Vocabulary, files: Sequence[SourceFile]
+    ) -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+@REGISTRY.register
+class UnknownEventRule(_SchemaRule):
+    id = "SCH001"
+    name = "no-unknown-event-reference"
+    severity = Severity.ERROR
+    hint = "define the member in tracing/events.py first"
+    rationale = (
+        "An Ev.<member> reference outside the enum's vocabulary fails at "
+        "import time at best, and silently at worst when spelled via "
+        "getattr."
+    )
+
+    def check_vocab(
+        self, vocab: Vocabulary, files: Sequence[SourceFile]
+    ) -> Iterable[Violation]:
+        for src in files:
+            if src.modpath == EVENTS_MODPATH:
+                continue
+            for node in src.walk():
+                member = _ev_member(node)
+                if member is not None and member not in vocab.members:
+                    yield self.violation(
+                        src, node,
+                        f"reference to undefined event Ev.{member}",
+                    )
+
+
+@REGISTRY.register
+class PointEmitRule(_SchemaRule):
+    id = "SCH002"
+    name = "emit-point-takes-point-events"
+    severity = Severity.ERROR
+    hint = (
+        "emit_point(event, pid, arg) is for instantaneous events "
+        "(id >= FIRST_POINT_EVENT); paired activities go through a "
+        "Frame with ENTRY/EXIT records"
+    )
+    rationale = (
+        "A paired event emitted as a point record leaves the nesting "
+        "matcher with an ENTRY that never closes."
+    )
+
+    def check_vocab(
+        self, vocab: Vocabulary, files: Sequence[SourceFile]
+    ) -> Iterable[Violation]:
+        for src in files:
+            for node in src.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if not name.endswith("emit_point"):
+                    continue
+                if len(node.args) + len(node.keywords) != 3:
+                    yield self.violation(
+                        src, node,
+                        f"emit_point takes (event, pid, arg); got "
+                        f"{len(node.args) + len(node.keywords)} args",
+                    )
+                if node.args:
+                    member = _ev_member(node.args[0])
+                    if member is not None and vocab.is_paired(member):
+                        yield self.violation(
+                            src, node,
+                            f"paired event Ev.{member} emitted as a "
+                            f"point record",
+                        )
+
+
+@REGISTRY.register
+class PairedFrameRule(_SchemaRule):
+    id = "SCH003"
+    name = "frame-events-are-paired"
+    severity = Severity.ERROR
+    hint = (
+        "event= on a Frame/SoftirqHandler/interrupt vector must be a "
+        "paired activity (id < FIRST_POINT_EVENT); point events use "
+        "emit_point"
+    )
+    rationale = (
+        "A point event given ENTRY/EXIT semantics double-counts: the "
+        "decoder sees an activity the vocabulary says cannot nest."
+    )
+
+    def check_vocab(
+        self, vocab: Vocabulary, files: Sequence[SourceFile]
+    ) -> Iterable[Violation]:
+        for src in files:
+            for node in src.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                for kw in node.keywords:
+                    if kw.arg != "event":
+                        continue
+                    member = _ev_member(kw.value)
+                    if member is not None and (
+                        vocab.is_paired(member) is False
+                    ):
+                        yield self.violation(
+                            src, node,
+                            f"point event Ev.{member} used as a paired "
+                            f"activity (event= keyword)",
+                        )
+
+
+@REGISTRY.register
+class EmitSignatureRule(_SchemaRule):
+    id = "SCH004"
+    name = "emit-passes-the-record-fields"
+    severity = Severity.ERROR
+    hint = (
+        "TraceSink.emit takes exactly (time, event, cpu, flag, pid, arg) "
+        "— the six fields of the 24-byte record"
+    )
+    rationale = (
+        "The binary record layout is fixed; an emit call with the wrong "
+        "arity corrupts every downstream decoder."
+    )
+
+    #: Only kernel-side modules call TraceSink.emit.
+    scope = ("repro/simkernel/", "repro/tracing/")
+
+    def check_vocab(
+        self, vocab: Vocabulary, files: Sequence[SourceFile]
+    ) -> Iterable[Violation]:
+        for src in files:
+            if not self.applies_to(src):
+                continue
+            for node in src.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr == "emit"
+                ):
+                    continue
+                n = len(node.args) + len(node.keywords)
+                if n != 6:
+                    yield self.violation(
+                        src, node,
+                        f".emit() called with {n} args, record has 6 "
+                        f"fields",
+                    )
+
+
+@REGISTRY.register
+class VocabularyCoverageRule(_SchemaRule):
+    id = "SCH005"
+    name = "vocabulary-tables-cover-every-event"
+    severity = Severity.ERROR
+    hint = (
+        "add the member to EVENT_NAMES (tracing/events.py) and, for "
+        "paired activities, to EVENT_CATEGORY (core/model.py)"
+    )
+    rationale = (
+        "An event missing from EVENT_NAMES renders as event_<n>; a "
+        "paired activity missing from EVENT_CATEGORY is silently "
+        "classified OTHER by the LUT."
+    )
+
+    def check_vocab(
+        self, vocab: Vocabulary, files: Sequence[SourceFile]
+    ) -> Iterable[Violation]:
+        events_src = vocab.events_src
+        model_src = vocab.model_src
+        for member in sorted(vocab.members):
+            if member not in vocab.named and events_src is not None:
+                yield self.violation(
+                    events_src, events_src.tree,
+                    f"Ev.{member} has no EVENT_NAMES entry",
+                )
+            if (
+                vocab.is_paired(member)
+                and member not in vocab.categorized
+                and model_src is not None
+            ):
+                yield self.violation(
+                    model_src, model_src.tree,
+                    f"paired event Ev.{member} has no EVENT_CATEGORY "
+                    f"entry (classify LUT would fall back to OTHER)",
+                )

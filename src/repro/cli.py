@@ -43,7 +43,6 @@ from repro.core import (
     find_ambiguous_pairs,
 )
 from repro.core.report import (
-    format_breakdown,
     format_interruptions,
     format_table,
 )
@@ -489,6 +488,33 @@ def cmd_selftrace(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Run the noiselint repo-contract static analysis (see
+    docs/static-analysis.md)."""
+    from repro.check import run_check
+    from repro.check.report import render_json, render_rule_list, render_text
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    select = [r for r in (args.select or "").split(",") if r.strip()]
+    ignore = [r for r in (args.ignore or "").split(",") if r.strip()]
+    try:
+        result = run_check(
+            args.paths or ["src"],
+            select=select or None,
+            ignore=ignore or None,
+        )
+    except FileNotFoundError as exc:
+        print(f"no such path: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 1 if result.failed else 0
+
+
 def cmd_ftq_compare(args) -> int:
     analysis = _analysis(args)
     comparison = ftq_output(
@@ -632,6 +658,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clear-cache", action="store_true",
                    help="empty the cache before running")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "check",
+        help="noiselint: repo-contract static analysis "
+             "(determinism, ns-exactness, hot loops, trace schema)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to check (default: src)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report "
+                        "(schema: docs/static-analysis.md)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--select", metavar="RULES",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--ignore", metavar="RULES",
+                   help="comma-separated rule ids to skip")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also list suppressed violations")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("ftq-compare", help="FTQ vs trace validation")
     p.add_argument("trace")

@@ -45,7 +45,6 @@ from repro.core.nesting import build_activity_table, build_preemption_table
 from repro.tracing.ctf import Trace
 from repro.tracing.events import NAME_TO_EVENT, RECORD_DTYPE
 from repro.util.stats import DurationStats, describe_durations
-from repro.util.units import SEC
 
 #: Name accepted for the scheduler-derived pseudo event.
 PREEMPT_NAME = "preemption"

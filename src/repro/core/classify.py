@@ -142,14 +142,14 @@ def classify_activities(
     kt = ActivityTable.from_rows(kacts, meta=meta)
     pt = ActivityTable.from_rows(preemptions, meta=meta)
     _classify_inplace(kt, pt, meta)
-    for act, code, flag in zip(
+    for act, code, flag in zip(  # noiselint: disable=HOT001 -- object-path compat wrapper, not the columnar hot path
         kacts,
         kt.data["category"].tolist(),
         kt.data["is_noise"].tolist(),
     ):
         act.category = CATEGORY_ORDER[code]
         act.is_noise = flag
-    for window, code, flag in zip(
+    for window, code, flag in zip(  # noiselint: disable=HOT001 -- object-path compat wrapper, not the columnar hot path
         preemptions,
         pt.data["category"].tolist(),
         pt.data["is_noise"].tolist(),

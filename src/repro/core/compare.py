@@ -88,7 +88,7 @@ def compare_ftq(
     user_at = np.interp(boundaries.astype(np.float64), wall, user)
 
     # Whole operations completed by each boundary.
-    ops_at = np.floor(user_at / op_ns).astype(np.int64)
+    ops_at = np.floor(user_at / op_ns).astype(np.int64)  # noiselint: disable=NSX002 -- op_ns is a fractional model parameter; op counts are FTQ estimates, not timestamps
     counts = np.diff(ops_at)
     n_max = quantum_ns // op_ns
     ftq_noise = (n_max - counts) * op_ns

@@ -15,7 +15,7 @@ two case studies, both reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.model import Interruption
 

@@ -256,6 +256,7 @@ def _match_frames_walk(
     ENTRY = int(Flag.ENTRY)
     EXIT = int(Flag.EXIT)
 
+    # hot: per-record fallback walk for malformed streams; keep obs out
     for t, event, cpu, flag, pid, arg in zip(
         times, events, cpus, flags, pids, args
     ):

@@ -20,7 +20,7 @@ from repro.core.model import (
     CATEGORY_ORDER,
     NoiseCategory,
 )
-from repro.util.stats import DurationStats, describe_durations
+from repro.util.stats import describe_durations
 
 
 @dataclass(frozen=True)
@@ -105,7 +105,8 @@ def phase_breakdown(
     for phase in phases:
         totals: Dict[NoiseCategory, int] = {c: 0 for c in BREAKDOWN_CATEGORIES}
         # Columnar prefilter; the proportional split stays Python-int
-        # arithmetic so its float rounding matches the object path exactly.
+        # arithmetic (arbitrary precision), so totals are exact however
+        # large the timestamps get.
         m = noise & (d["end"] > phase.start) & (d["start"] < phase.end)
         sub = d[m]
         for start, end, total_ns, self_ns, code in zip(
@@ -120,8 +121,8 @@ def phase_breakdown(
                 continue
             total = total_ns if total_ns > 0 else 1
             category = CATEGORY_ORDER[code]
-            totals[category] = totals.get(category, 0) + int(
-                self_ns * overlap / total
+            totals[category] = totals.get(category, 0) + (
+                self_ns * overlap // total
             )
         out.append((phase, totals))
     return out

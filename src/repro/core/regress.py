@@ -14,10 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.analysis import NoiseAnalysis
-from repro.util.units import SEC, fmt_ns
+from repro.util.units import SEC
 
 
 class Verdict(Enum):

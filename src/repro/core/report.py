@@ -6,7 +6,7 @@ these helpers keep the formatting in one place.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.model import BREAKDOWN_CATEGORIES, NoiseCategory
 from repro.util.stats import DurationStats
@@ -110,7 +110,10 @@ def render_ascii_trace(
     """
     if t1 <= t0 or width <= 0:
         raise ValueError("need t1 > t0 and positive width")
-    cell_ns = (t1 - t0) / width
+    # Exact integer binning: cell c covers [t0 + span*c//width,
+    # t0 + span*(c+1)//width) — no float round-off however large the
+    # timestamps get.
+    span = t1 - t0
     # For each cpu/cell, accumulate ns per category; pick the max.
     grids = [
         [dict() for _ in range(width)] for _ in range(ncpus)
@@ -118,11 +121,12 @@ def render_ascii_trace(
     for act in activities:
         if act.end <= t0 or act.start >= t1 or act.cpu >= ncpus:
             continue
-        first = max(0, int((act.start - t0) / cell_ns))
-        last = min(width - 1, int((act.end - 1 - t0) / cell_ns))
+        first = max(0, (act.start - t0) * width // span)
+        last = min(width - 1, (act.end - 1 - t0) * width // span)
         for cell in range(first, last + 1):
-            begin = t0 + cell * cell_ns
-            overlap = min(act.end, begin + cell_ns) - max(act.start, begin)
+            begin = t0 + span * cell // width
+            cell_end = t0 + span * (cell + 1) // width
+            overlap = min(act.end, cell_end) - max(act.start, begin)
             if overlap <= 0:
                 continue
             bucket = grids[act.cpu][cell]

@@ -83,7 +83,7 @@ def project_slowdown(
             ScalabilityPoint(
                 nodes=int(n),
                 slowdown=float((granularity_ns + penalty) / granularity_ns),
-                mean_penalty_ns=float(penalty),
+                mean_penalty_ns=float(penalty),  # noiselint: disable=NSX001 -- Monte-Carlo mean of sampled penalties; reporting-only float
             )
         )
     return out

@@ -18,11 +18,15 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Optional, Tuple
+from typing import Optional, Tuple, TYPE_CHECKING
 
 import repro
 from repro import obs
 from repro.exec.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.model import TraceMeta
+    from repro.tracing.ctf import Trace
 
 #: Environment override for the default cache location.
 CACHE_ENV = "LTTNG_NOISE_CACHE"
@@ -66,7 +70,7 @@ class ResultCache:
         return os.path.exists(trace_path) and os.path.exists(meta_path)
 
     # ------------------------------------------------------------------
-    def get(self, spec: RunSpec):
+    def get(self, spec: RunSpec) -> Optional[Tuple["Trace", "TraceMeta"]]:
         """Cached ``(trace, meta)`` for the spec, or None on a miss.
 
         A corrupt entry (truncated write, wrong format) counts as a miss
@@ -96,7 +100,7 @@ class ResultCache:
         if obs.enabled():
             obs.counter("cache.miss").inc()
 
-    def put(self, spec: RunSpec, trace, meta) -> None:
+    def put(self, spec: RunSpec, trace: "Trace", meta: "TraceMeta") -> None:
         if obs.enabled():
             obs.counter("cache.put").inc()
         os.makedirs(self.root, exist_ok=True)

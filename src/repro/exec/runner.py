@@ -19,11 +19,28 @@ import json
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro import obs
 from repro.exec.cache import ResultCache
 from repro.exec.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.analysis import NoiseAnalysis
+    from repro.core.model import TraceMeta
+    from repro.tracing.ctf import Trace
+
+#: what the execution paths yield per completed spec
+_RunTuple = Tuple[RunSpec, "Trace", "TraceMeta", float]
 
 #: progress callback: (done, total, spec, cached, elapsed_seconds)
 ProgressFn = Callable[[int, int, RunSpec, bool, float], None]
@@ -59,7 +76,7 @@ class RunResult:
     cached: bool
     elapsed_s: float
 
-    def analysis(self):
+    def analysis(self) -> "NoiseAnalysis":
         from repro.core.analysis import NoiseAnalysis
 
         return NoiseAnalysis(self.trace, meta=self.meta)
@@ -176,7 +193,7 @@ class ParallelRunner:
         )
 
     # ------------------------------------------------------------------
-    def _execute(self, specs: List[RunSpec]):
+    def _execute(self, specs: List[RunSpec]) -> Iterator[_RunTuple]:
         """Yield ``(spec, trace, meta, elapsed)`` for every spec."""
         self.used_processes = False
         workers = min(self.max_workers, len(specs))
@@ -192,7 +209,7 @@ class ParallelRunner:
             yield from self._execute_serial(exc.remaining)
 
     @staticmethod
-    def _execute_serial(specs: List[RunSpec]):
+    def _execute_serial(specs: List[RunSpec]) -> Iterator[_RunTuple]:
         from repro.core.model import TraceMeta  # noqa: F401  (import parity)
 
         for spec in specs:
@@ -201,7 +218,9 @@ class ParallelRunner:
                 trace, meta = spec.execute()
             yield spec, trace, meta, time.perf_counter() - t0
 
-    def _execute_processes(self, specs: List[RunSpec], workers: int):
+    def _execute_processes(
+        self, specs: List[RunSpec], workers: int
+    ) -> Iterator[_RunTuple]:
         from repro.core.model import TraceMeta
         from repro.tracing.ctf import Trace
 

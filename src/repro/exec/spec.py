@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 import repro
@@ -46,7 +46,7 @@ def resolve_factory(name: str) -> Callable[..., "object"]:
     if key == "FTQ":
         return FTQWorkload
     if key in SEQUOIA_PROFILES:
-        def make_sequoia(**kwargs):
+        def make_sequoia(**kwargs: Any) -> "object":
             return SequoiaWorkload(key, **kwargs)
 
         return make_sequoia
@@ -171,7 +171,7 @@ class RunSpec:
             kwargs.setdefault("nominal_ns", self.duration_ns)
         return resolve_factory(self.workload)(**kwargs)
 
-    def execute(self):
+    def execute(self) -> Tuple["object", "object"]:
         """Simulate this run; returns ``(trace, meta)``."""
         from repro.core.model import TraceMeta
 

@@ -16,7 +16,7 @@ short, as the paper's are.
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 #: Category colours, matching the paper's figures and our Paraver export.
 CATEGORY_COLORS = {

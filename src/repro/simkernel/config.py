@@ -12,7 +12,6 @@ HZ=100 (Tables V/VI show 100 timer events/sec), NFS-only I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.simkernel.distributions import (
     Constant,

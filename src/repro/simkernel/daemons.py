@@ -11,7 +11,7 @@ policy.
 
 from __future__ import annotations
 
-from typing import Optional, Union, TYPE_CHECKING
+from typing import Union, TYPE_CHECKING
 
 from repro.simkernel.distributions import DurationModel
 from repro.simkernel.task import Task

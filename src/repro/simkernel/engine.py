@@ -121,12 +121,12 @@ class Engine:
         self._running = True
         track = obs.enabled()
         if track:
-            wall0 = time.perf_counter_ns()
+            wall0 = time.perf_counter_ns()  # noiselint: disable=DET001 -- host wall clock feeds obs throughput gauges only, never simulated state
             virt0 = self.now
             exec0 = self.events_executed
         try:
             executed = 0
-            while True:
+            while True:  # hot: the main event loop; plain tallies only
                 self._drop_cancelled_head()
                 if not self._heap or self._heap[0].time > t_end_ns:
                     break
@@ -144,7 +144,7 @@ class Engine:
 
     def _report_run(self, wall0: int, virt0: int, exec0: int) -> None:
         """Record the finished window's throughput gauges (cold path)."""
-        wall_ns = max(1, time.perf_counter_ns() - wall0)
+        wall_ns = max(1, time.perf_counter_ns() - wall0)  # noiselint: disable=DET001 -- host wall clock feeds obs throughput gauges only, never simulated state
         executed = self.events_executed - exec0
         obs.counter("sim.events").inc(executed)
         obs.gauge("sim.events_per_wall_sec").set(executed * 1e9 / wall_ns)
@@ -162,20 +162,22 @@ class Engine:
         """
         executed = 0
         self.budget_exhausted = False
+        # hot: one iteration per simulated event
         while self.step():
             executed += 1
             if executed >= max_events and self.peek_time() is not None:
                 self.budget_exhausted = True
-                if obs.enabled():
-                    obs.counter("sim.budget_exhausted").inc()
-                warnings.warn(
-                    f"event budget exhausted after {executed} events with "
-                    f"{self.pending_count()} still pending — simulation "
-                    f"truncated at t={self.now}",
-                    SimBudgetWarning,
-                    stacklevel=2,
-                )
                 break
+        if self.budget_exhausted:
+            if obs.enabled():
+                obs.counter("sim.budget_exhausted").inc()
+            warnings.warn(
+                f"event budget exhausted after {executed} events with "
+                f"{self.pending_count()} still pending — simulation "
+                f"truncated at t={self.now}",
+                SimBudgetWarning,
+                stacklevel=2,
+            )
         return executed
 
     def pending_count(self) -> int:

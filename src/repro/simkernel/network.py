@@ -21,7 +21,7 @@ modeled here follows the paper's Section IV-D exactly:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, List, TYPE_CHECKING
 
 from repro.simkernel.cpu import CPU
 from repro.simkernel.softirq import SoftirqHandler, Vec

@@ -7,7 +7,7 @@ traces (DESIGN.md section 6).
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

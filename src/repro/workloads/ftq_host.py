@@ -70,7 +70,7 @@ def run_host_ftq(
             quantum_end += quantum_ns
     arr = np.array(counts, dtype=np.int64)
     total_ns = t - start
-    op_ns = total_ns / ops_total if ops_total else 0.0
+    op_ns = total_ns / ops_total if ops_total else 0.0  # noiselint: disable=NSX001 -- host-measured mean op duration; fractional ns by design
     return HostFtqResult(
         quantum_ns=quantum_ns,
         counts=arr,

@@ -10,7 +10,7 @@ profile?) and the cluster study.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

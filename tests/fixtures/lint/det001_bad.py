@@ -1,0 +1,12 @@
+# noiselint-fixture: repro/simkernel/fixture_det001.py
+"""Positive fixture: wall-clock reads inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    a = time.time()
+    b = time.perf_counter_ns()
+    c = datetime.now()
+    return a, b, c

@@ -1,0 +1,11 @@
+# noiselint-fixture: repro/simkernel/fixture_det002.py
+"""Positive fixture: global RNG state inside simulation code."""
+
+import os
+import random
+
+
+def draw():
+    x = random.random()
+    y = os.urandom(8)
+    return x, y

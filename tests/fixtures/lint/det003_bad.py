@@ -1,0 +1,10 @@
+# noiselint-fixture: repro/core/fixture_det003.py
+"""Positive fixture: iteration over an unordered set."""
+
+
+def drain(pids, flags):
+    out = []
+    for pid in set(pids):
+        out.append(pid)
+    doubled = [f * 2 for f in {f for f in flags}]
+    return out, doubled

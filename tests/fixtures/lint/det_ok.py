@@ -1,0 +1,16 @@
+# noiselint-fixture: repro/simkernel/fixture_det_ok.py
+"""Negative fixture: determinism-clean simulation code.
+
+Randomness flows through a seeded generator, set reductions are
+order-insensitive, and timestamps come from the engine clock.
+"""
+
+from repro.util.rng import make_rng
+
+
+def draw(seed, pids):
+    rng = make_rng(seed)
+    jitter = int(rng.integers(0, 100))
+    ordered = sorted(pid for pid in set(pids))
+    population = len(set(pids))
+    return jitter, ordered, population

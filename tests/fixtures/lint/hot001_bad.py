@@ -1,0 +1,9 @@
+# noiselint-fixture: repro/core/nesting.py
+"""Positive fixture: a per-row Python loop in a columnar core module."""
+
+
+def per_row(table):
+    total = 0
+    for start, end in zip(table.data["start"], table.data["end"]):
+        total += end - start
+    return total

@@ -1,0 +1,10 @@
+# noiselint-fixture: repro/simkernel/fixture_hot002.py
+"""Positive fixture: an obs call inside a loop marked # hot."""
+
+from repro import obs
+
+
+def run(queue):
+    while queue:  # hot
+        queue.pop()
+        obs.counter("events").inc()

@@ -1,0 +1,19 @@
+# noiselint-fixture: repro/core/analysis.py
+"""Negative fixture: columnar code plus the tally-then-publish idiom."""
+
+import numpy as np
+
+from repro import obs
+
+
+def columnar(table):
+    return int(np.sum(table.data["end"] - table.data["start"]))
+
+
+def run(queue):
+    executed = 0
+    while queue:  # hot
+        queue.pop()
+        executed += 1
+    obs.counter("events").inc(executed)
+    return executed

@@ -1,0 +1,5 @@
+# noiselint-fixture: repro/simkernel/fixture_nl004.py
+"""Positive fixture: a file that does not parse."""
+
+def broken(:
+    pass

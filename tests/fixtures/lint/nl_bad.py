@@ -1,0 +1,11 @@
+# noiselint-fixture: repro/simkernel/fixture_nl.py
+"""Positive fixture: pragma-hygiene violations."""
+
+import time
+
+
+def stamp(x):
+    a = time.time()  # noiselint: disable=DET001
+    b = x + 1  # noiselint: disable=NOPE999 -- no such rule
+    c = x + 2  # noiselint: disable=DET002 -- nothing here uses an RNG
+    return a, b, c

@@ -1,0 +1,8 @@
+# noiselint-fixture: repro/simkernel/fixture_nl_ok.py
+"""Negative fixture: a justified suppression that really suppresses."""
+
+import time
+
+
+def stamp():
+    return time.time()  # noiselint: disable=DET001 -- fixture: reason given, pragma used

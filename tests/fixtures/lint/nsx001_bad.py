@@ -1,0 +1,9 @@
+# noiselint-fixture: repro/core/fixture_nsx001.py
+"""Positive fixture: float arithmetic flowing into ns-typed slots."""
+
+
+def bad(total_ns, n):
+    mean_ns = total_ns / n
+    start_ns = 1.5
+    end_ns = float(total_ns)
+    return mean_ns, start_ns, end_ns

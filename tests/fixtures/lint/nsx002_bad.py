@@ -1,0 +1,10 @@
+# noiselint-fixture: repro/core/fixture_nsx002.py
+"""Positive fixture: truncated float division of ns quantities."""
+
+import math
+
+
+def bad(span_ns, width):
+    cell = int(span_ns / width)
+    floor_cell = math.floor(span_ns / width)
+    return cell, floor_cell

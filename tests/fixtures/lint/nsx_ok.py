@@ -1,0 +1,11 @@
+# noiselint-fixture: repro/core/fixture_nsx_ok.py
+"""Negative fixture: exact integer ns arithmetic plus the sanctioned
+quantization boundary (a top-level int()/round() of a model parameter)."""
+
+
+def good(total_ns, n, quantum_ms, rng):
+    mean_ns = total_ns // n
+    quantum_ns = int(quantum_ms * 1e6)
+    gap_ns = max(1, int(rng.exponential(1e9)))
+    ratio = total_ns / n if n else 0.0  # plain name: ratios may be float
+    return mean_ns, quantum_ns, gap_ns, ratio

@@ -1,0 +1,12 @@
+# noiselint-fixture: repro/simkernel/fixture_sch.py
+"""Positive fixture: trace-schema misuse against the real vocabulary."""
+
+from repro.tracing.events import Ev
+
+
+def emit_all(tracer, cpu, pid):
+    tracer.emit_point(Ev.NO_SUCH_EVENT, cpu, pid)       # SCH001
+    tracer.emit_point(Ev.SYSCALL, cpu, pid)             # SCH002: paired
+    frame = make_frame(event=Ev.SCHED_SWITCH)           # SCH003: point
+    sink.emit(0, Ev.SYSCALL, cpu)                       # SCH004: arity 3
+    return frame

@@ -1,0 +1,11 @@
+# noiselint-fixture: repro/simkernel/fixture_sch_ok.py
+"""Negative fixture: schema-correct event usage."""
+
+from repro.tracing.events import Ev, Flag
+
+
+def emit_all(tracer, sink, cpu, pid):
+    tracer.emit_point(Ev.SCHED_WAKEUP, cpu, pid)
+    frame = make_frame(event=Ev.SYSCALL)
+    sink.emit(0, Ev.SYSCALL, cpu, Flag.ENTRY, pid, 0)
+    return frame

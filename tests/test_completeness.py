@@ -1,0 +1,94 @@
+"""Vocabulary completeness: the Ev enum, the classification LUT, and the
+documented trace format must agree event-for-event.
+
+This is the runtime twin of noiselint's SCH005 project rule — SCH005
+checks the *source* stays consistent; this checks the *artifacts*
+(including the docs table, which no AST can see).
+"""
+
+import os
+import re
+
+from repro.core import classify
+from repro.core.model import (
+    EVENT_CATEGORY,
+    PREEMPT_EVENT,
+    TRACER_PREEMPT_EVENT,
+    NoiseCategory,
+)
+from repro.tracing.events import (
+    EVENT_NAMES,
+    FIRST_POINT_EVENT,
+    Ev,
+    is_paired,
+)
+
+DOC = os.path.join(
+    os.path.dirname(__file__), os.pardir, "docs", "trace-format.md"
+)
+
+_DOC_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*(\S+)\s*\|\s*(paired|point)\s*\|")
+
+
+def doc_rows():
+    rows = {}
+    with open(DOC, encoding="utf-8") as fp:
+        for line in fp:
+            match = _DOC_ROW_RE.match(line)
+            if match:
+                rows[int(match.group(1))] = (
+                    match.group(2), match.group(3)
+                )
+    return rows
+
+
+def test_every_event_has_a_name():
+    for ev in Ev:
+        assert int(ev) in EVENT_NAMES, f"{ev!r} missing from EVENT_NAMES"
+    # and no orphan names for events that no longer exist
+    ids = {int(ev) for ev in Ev}
+    assert set(EVENT_NAMES) <= ids, set(EVENT_NAMES) - ids
+
+
+def test_every_paired_event_has_a_classification_category():
+    for ev in Ev:
+        if not is_paired(ev):
+            continue
+        assert ev in EVENT_CATEGORY, (
+            f"{ev!r} has no EVENT_CATEGORY entry; the classify LUT would "
+            f"silently fall back to OTHER"
+        )
+        assert isinstance(EVENT_CATEGORY[ev], NoiseCategory)
+        # ... and the LUT actually carries it.
+        assert classify._CATEGORY_LUT[int(ev)] >= 0
+
+
+def test_point_events_are_not_classified_as_activities():
+    """Only paired activities (plus the two synthetic preemption
+    pseudo-events the reconstruction emits) may carry a category."""
+    pseudo = {PREEMPT_EVENT, TRACER_PREEMPT_EVENT}
+    for ev in EVENT_CATEGORY:
+        assert is_paired(ev) or ev in pseudo, (
+            f"point event {ev!r} in EVENT_CATEGORY"
+        )
+
+
+def test_docs_trace_format_table_matches_the_enum():
+    rows = doc_rows()
+    ids = {int(ev) for ev in Ev}
+    assert set(rows) == ids, (
+        f"docs/trace-format.md event table out of sync: "
+        f"missing {sorted(ids - set(rows))}, stale {sorted(set(rows) - ids)}"
+    )
+    for ev in Ev:
+        name, kind = rows[int(ev)]
+        assert name == EVENT_NAMES[int(ev)], (
+            f"docs name for id {int(ev)}: {name!r} != {EVENT_NAMES[int(ev)]!r}"
+        )
+        expected = "paired" if is_paired(ev) else "point"
+        assert kind == expected, f"docs kind for {ev!r}: {kind}"
+
+
+def test_paired_point_split_is_contiguous():
+    for ev in Ev:
+        assert (int(ev) < FIRST_POINT_EVENT) == is_paired(ev)

@@ -1,0 +1,240 @@
+"""noiselint: every rule has a positive and a negative fixture, the repo
+itself is clean, and a seeded violation is caught with rule id, location
+and fix hint (the CI-gate contract of docs/static-analysis.md)."""
+
+import json
+import os
+
+import pytest
+
+from repro.check import (
+    REGISTRY,
+    Severity,
+    SourceFile,
+    all_rules,
+    run_check,
+)
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+#: Real vocabulary sources the schema rules need alongside fixtures.
+VOCAB_PATHS = [
+    os.path.join(SRC, "repro", "tracing", "events.py"),
+    os.path.join(SRC, "repro", "core", "model.py"),
+]
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fp:
+        return SourceFile(path, fp.read())
+
+
+def check_fixture(name, with_vocab=False):
+    sources = [load(os.path.join(FIXTURES, name))]
+    if with_vocab:
+        sources += [load(p) for p in VOCAB_PATHS]
+    return run_check([], sources=sources)
+
+
+def rules_hit(result):
+    return {v.rule for v in result.violations}
+
+
+# ----------------------------------------------------------------------
+# Positive fixtures: each rule fires, with location and hint.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "fixture, rule, line",
+    [
+        ("det001_bad.py", "DET001", 9),
+        ("det002_bad.py", "DET002", 9),
+        ("det003_bad.py", "DET003", 7),
+        ("nsx001_bad.py", "NSX001", 6),
+        ("nsx002_bad.py", "NSX002", 8),
+        ("hot001_bad.py", "HOT001", 7),
+        ("hot002_bad.py", "HOT002", 10),
+    ],
+)
+def test_rule_fires(fixture, rule, line):
+    result = check_fixture(fixture)
+    hits = [v for v in result.violations if v.rule == rule]
+    assert hits, f"{rule} did not fire on {fixture}: {result.violations}"
+    assert any(v.line == line for v in hits), [v.line for v in hits]
+    for v in hits:
+        assert v.hint, f"{rule} must carry a fix hint"
+        assert v.severity == Severity.ERROR
+
+
+def test_det001_flags_every_wall_clock_variant():
+    result = check_fixture("det001_bad.py")
+    assert len([v for v in result.violations if v.rule == "DET001"]) == 3
+
+
+def test_schema_rules_fire_against_real_vocabulary():
+    result = check_fixture("sch_bad.py", with_vocab=True)
+    fixture_hits = {
+        v.rule for v in result.violations if "sch_bad" in v.path
+    }
+    assert {"SCH001", "SCH002", "SCH003", "SCH004"} <= fixture_hits
+
+
+def test_pragma_hygiene_rules():
+    result = check_fixture("nl_bad.py")
+    assert {"NL001", "NL002", "NL003"} <= rules_hit(result)
+    # The bare pragma does not suppress: DET001 still fires.
+    assert "DET001" in rules_hit(result)
+
+
+def test_unparseable_file_is_reported_not_crashed():
+    result = check_fixture("nl004_bad.py")
+    assert rules_hit(result) == {"NL004"}
+    assert result.failed
+
+
+# ----------------------------------------------------------------------
+# Negative fixtures: clean idioms stay clean.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "fixture", ["det_ok.py", "nsx_ok.py", "hot_ok.py", "nl_ok.py"]
+)
+def test_clean_fixture_passes(fixture):
+    result = check_fixture(fixture)
+    assert not result.violations, result.violations
+    assert not result.failed
+
+
+def test_schema_clean_fixture_passes():
+    result = check_fixture("sch_ok.py", with_vocab=True)
+    fixture_hits = [v for v in result.violations if "sch_ok" in v.path]
+    assert not fixture_hits, fixture_hits
+
+
+def test_justified_suppression_is_counted_not_failed():
+    result = check_fixture("nl_ok.py")
+    assert [v.rule for v in result.suppressed] == ["DET001"]
+    assert not result.failed
+
+
+# ----------------------------------------------------------------------
+# The repo-gate contract.
+# ----------------------------------------------------------------------
+
+def test_repo_is_clean():
+    """`lttng-noise check src` exits 0 on the repository itself."""
+    result = run_check([SRC])
+    assert not result.failed, "\n".join(
+        f"{v.path}:{v.line}: {v.rule} {v.message}" for v in result.violations
+    )
+
+
+def test_seeded_violation_is_caught(tmp_path):
+    """Injecting time.time() into simkernel code fails the check with
+    rule id, file:line, and a fix hint — the acceptance criterion."""
+    engine_path = os.path.join(SRC, "repro", "simkernel", "engine.py")
+    with open(engine_path, encoding="utf-8") as fp:
+        text = fp.read()
+    text += "\n\ndef seeded_violation():\n    return time.time()\n"
+    bad_line = text.rstrip("\n").count("\n") + 1  # the return statement
+
+    pkg = tmp_path / "repro" / "simkernel"
+    pkg.mkdir(parents=True)
+    bad_file = pkg / "engine.py"
+    bad_file.write_text(text)
+
+    result = run_check([str(tmp_path)])
+    assert result.failed
+    hits = [v for v in result.violations if v.rule == "DET001"]
+    assert len(hits) == 1
+    v = hits[0]
+    assert v.path == str(bad_file)
+    assert v.line == bad_line
+    assert v.hint
+
+
+def test_every_rule_has_metadata_and_fixture_coverage():
+    """Registry hygiene: ids are unique by construction; every rule states
+    a scope rationale and a hint, and belongs to a documented pack."""
+    assert all_rules(), "no rules registered"
+    for rule in all_rules():
+        assert rule.id and rule.name, rule
+        assert rule.hint, f"{rule.id} has no fix hint"
+        assert rule.rationale, f"{rule.id} has no rationale"
+        assert rule.id[:3] in ("DET", "NSX", "HOT", "SCH"), rule.id
+    assert "NL001" not in REGISTRY  # hygiene lives in the engine
+
+
+# ----------------------------------------------------------------------
+# CLI surface.
+# ----------------------------------------------------------------------
+
+def test_cli_exit_codes(capsys):
+    assert main(["check", SRC]) == 0
+    capsys.readouterr()
+    assert main(["check", os.path.join(FIXTURES, "det001_bad.py")]) == 1
+    capsys.readouterr()
+    assert main(["check", "/no/such/path"]) == 2
+
+
+def test_cli_text_output_has_location_and_hint(capsys):
+    main(["check", os.path.join(FIXTURES, "det001_bad.py")])
+    out = capsys.readouterr().out
+    assert "det001_bad.py:9:" in out
+    assert "DET001" in out
+    assert "hint:" in out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+
+
+def test_cli_select_and_ignore(capsys):
+    bad = os.path.join(FIXTURES, "det001_bad.py")
+    assert main(["check", "--select", "DET002", bad]) == 0
+    capsys.readouterr()
+    assert main(["check", "--ignore", "DET001", bad]) == 0
+    capsys.readouterr()
+    assert main(["check", "--select", "DET001", bad]) == 1
+
+
+def test_cli_json_schema(capsys):
+    """The documented --json schema (docs/static-analysis.md)."""
+    bad = os.path.join(FIXTURES, "det001_bad.py")
+    assert main(["check", "--json", bad]) == 1
+    payload = json.loads(capsys.readouterr().out)
+
+    assert payload["version"] == 1
+    assert payload["tool"] == "noiselint"
+    assert payload["files_checked"] == 1
+    summary = payload["summary"]
+    assert set(summary) == {
+        "errors", "warnings", "infos", "suppressed", "failed"
+    }
+    assert summary["failed"] is True
+    assert summary["errors"] == len(payload["violations"]) > 0
+    for violation in payload["violations"] + payload["suppressed"]:
+        assert set(violation) == {
+            "rule", "severity", "path", "line", "col", "message", "hint"
+        }
+        assert violation["severity"] in ("info", "warning", "error")
+        assert isinstance(violation["line"], int)
+    # sorted by (path, line, col, rule)
+    keys = [
+        (v["path"], v["line"], v["col"], v["rule"])
+        for v in payload["violations"]
+    ]
+    assert keys == sorted(keys)
+
+
+def test_cli_json_clean_run(capsys):
+    ok = os.path.join(FIXTURES, "det_ok.py")
+    assert main(["check", "--json", ok]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["failed"] is False
+    assert payload["violations"] == []
