@@ -18,6 +18,9 @@ test-fast:
 
 bench:
 	$(PYENV) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(PYENV) $(PYTHON) -m pytest -s \
+		benchmarks/bench_perf_pipeline.py::test_columnar_speedup_and_parity \
+		benchmarks/bench_perf_pipeline.py::test_streaming_memory_bounded
 
 # Static analysis.  noiselint (src/repro/check) is dependency-free and
 # always runs; ruff and mypy run when installed (CI installs them).

@@ -29,6 +29,7 @@ from repro.check.framework import (
 NS_SCOPE = (
     "repro/simkernel/",
     "repro/core/",
+    "repro/stream/",
     "repro/tracing/",
     "repro/io/",
     "repro/workloads/",
@@ -132,6 +133,24 @@ class FloatIntoNsSlotRule(Rule):
                                 src, kw.value,
                                 f"float expression passed as {kw.arg}=",
                             )
+                continue
+            elif isinstance(node, ast.Dict):
+                # Dict literals are assignment in disguise: a summary row
+                # {"mean_wait_ns": float(...)} degrades the slot exactly
+                # like ``mean_wait_ns = float(...)`` would.
+                for key, val in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value.endswith("_ns")
+                        and val is not None
+                        and _float_taint(val) is not None
+                    ):
+                        yield self.violation(
+                            src, val,
+                            f"float expression keyed as {key.value!r} "
+                            "in dict literal",
+                        )
                 continue
             if value is None:
                 continue

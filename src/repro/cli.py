@@ -35,6 +35,8 @@ import os
 import sys
 from typing import List, Optional
 
+import numpy as np
+
 from repro import obs
 from repro.core import (
     NoiseAnalysis,
@@ -176,6 +178,70 @@ def cmd_report(args) -> int:
     if analysis.records is not None and len(analysis.records):
         print(f"\nrecords: {len(analysis.records)}, span {fmt_ns(analysis.span_ns)}, "
               f"{analysis.ncpus} cpus")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Noise summary, batch or streaming (``--stream``).
+
+    The streaming path never loads the trace: packets are decoded and
+    analyzed one at a time, so memory stays bounded by the analysis window
+    rather than the trace length.  With ``--window-ns`` the per-window
+    activity chunks are summarized as they are sealed.  Both paths produce
+    identical numbers.
+    """
+    quanta = tuple(args.quantum_ns)
+    if (args.window_ns or args.windows) and not args.stream:
+        print("--window-ns/--windows need --stream", file=sys.stderr)
+        return 2
+    if args.stream:
+        from repro.stream import StreamingAnalysis
+
+        meta_path = args.meta
+        if meta_path is None:
+            candidate = os.path.splitext(args.trace)[0] + ".meta.json"
+            meta_path = candidate if os.path.exists(candidate) else None
+        meta = TraceMeta.from_file(meta_path) if meta_path else TraceMeta()
+
+        def on_chunk(index: int, table) -> None:
+            if not args.windows:
+                return
+            noise_ns = int(table.self_ns[table.is_noise].sum())
+            print(f"  window {index:4d}: {len(table):6d} activities, "
+                  f"noise {fmt_ns(noise_ns)}")
+
+        analysis = StreamingAnalysis.analyze_file(
+            args.trace,
+            meta=meta,
+            window_ns=args.window_ns,
+            quanta=quanta,
+            on_chunk=on_chunk if args.window_ns else None,
+        )
+        mode = (f"streaming, {analysis.windows_emitted} windows"
+                if args.window_ns else "streaming")
+        print(f"analyzed {args.trace} ({mode}): "
+              f"{analysis.records_processed} records, "
+              f"{analysis.activities_total} activities")
+    else:
+        analysis = _analysis(args)
+    print(f"span {fmt_ns(analysis.span_ns)}, {analysis.ncpus} cpus")
+    print(f"total noise:     {fmt_ns(analysis.total_noise_ns())}")
+    print(f"noise fraction:  {analysis.noise_fraction() * 100:.4f} %")
+    print(f"noise imbalance: {analysis.noise_imbalance():.3f}")
+    print("breakdown:")
+    for category, fraction in analysis.breakdown_fractions().items():
+        print(f"  {category.value:<12s} {fraction * 100:8.4f} %")
+    rows = analysis.stats_by_event(noise_only=not args.all_events)
+    print(format_table(
+        "Per-event statistics (freq per CPU-second)", rows
+    ))
+    for quantum_ns in quanta:
+        timeline = analysis.noise_timeline(quantum_ns)
+        peak = int(np.argmax(timeline)) if len(timeline) else 0
+        print(f"timeline @ {fmt_ns(quantum_ns)}: {len(timeline)} bins, "
+              f"peak bin {peak} = {fmt_ns(int(timeline[peak]))}"
+              if len(timeline) else
+              f"timeline @ {fmt_ns(quantum_ns)}: empty")
     return 0
 
 
@@ -568,6 +634,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also show per-phase stats for one event "
                         "(phases come from workload markers)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "analyze",
+        help="noise summary; --stream analyzes incrementally "
+             "in bounded memory",
+    )
+    p.add_argument("trace")
+    p.add_argument("--meta")
+    p.add_argument("--stream", action="store_true",
+                   help="decode and analyze packet by packet instead of "
+                        "loading the whole trace")
+    p.add_argument("--window-ns", type=int, metavar="NS",
+                   help="streaming window size: seal and summarize "
+                        "activity chunks every NS of trace time")
+    p.add_argument("--quantum-ns", type=int, action="append", default=[],
+                   metavar="NS",
+                   help="also build a noise timeline at this quantum "
+                        "(repeatable)")
+    p.add_argument("--windows", action="store_true",
+                   help="print one line per sealed window (needs "
+                        "--stream --window-ns)")
+    p.add_argument("--all-events", action="store_true",
+                   help="include non-noise activities in the table")
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("chart", help="the synthetic OS noise chart")
     p.add_argument("trace")

@@ -106,8 +106,9 @@ class NoiseAnalysis:
         span_ns: Optional[int] = None,
         ncpus: Optional[int] = None,
     ) -> None:
+        gaps: list = []
         if isinstance(trace, Trace):
-            records = trace.records()
+            records, gaps = trace.records_with_gaps()
             self.ncpus = ncpus if ncpus is not None else trace.ncpus
             self.start_ts = trace.start_ts
             self.end_ts = trace.end_ts
@@ -126,7 +127,7 @@ class NoiseAnalysis:
 
         with obs.span("analysis", records=len(records)):
             kacts = build_activity_table(
-                records, end_ts=self.end_ts, meta=self.meta
+                records, end_ts=self.end_ts, meta=self.meta, gaps=gaps
             )
             preemptions = build_preemption_table(
                 records, self.meta, end_ts=self.end_ts, kact_table=kacts

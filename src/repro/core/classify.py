@@ -56,6 +56,12 @@ for _ev, _cat in EVENT_CATEGORY.items():
 _SERVICE = CATEGORY_CODE[NoiseCategory.SERVICE]
 _TRACER = CATEGORY_CODE[NoiseCategory.TRACER]
 
+#: Public aliases so the streaming engine (:mod:`repro.stream`) classifies
+#: with the exact same tables the batch path uses.
+CATEGORY_LUT = _CATEGORY_LUT
+SERVICE_CODE = _SERVICE
+TRACER_CODE = _TRACER
+
 
 def classify_table(
     kacts: ActivityTable,

@@ -24,7 +24,7 @@ object-path compatibility wrappers returning ``Activity`` lists.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,12 +44,18 @@ from repro.tracing.events import (
     event_name,
 )
 
+#: ``(cpu, gap_ts, pos)`` lost-event gap markers, positionally anchored in
+#: the record array handed to :func:`build_activity_table` — see
+#: :meth:`repro.tracing.ctf.Trace.records_with_gaps`.
+GapMarkers = Sequence[Tuple[int, int, int]]
+
 
 def build_activity_table(
     records: np.ndarray,
     end_ts: Optional[int] = None,
     strict: bool = False,
     meta: Optional[TraceMeta] = None,
+    gaps: Optional[GapMarkers] = None,
 ) -> ActivityTable:
     """Reconstruct paired kernel activities into a columnar table.
 
@@ -65,6 +71,12 @@ def build_activity_table(
     meta:
         Optional task metadata attached to the table (used for display
         names of preemption rows once tables are merged).
+    gaps:
+        Lost-event gap markers ``(cpu, gap_ts, pos)``: before the record
+        at index ``pos`` an unknown number of events on ``cpu`` was lost.
+        Open activities on that CPU are truncated at ``gap_ts`` and the
+        stack resynchronizes (post-gap orphan EXITs are skipped), instead
+        of letting a post-gap EXIT silently close a pre-gap frame.
     """
     with obs.span("nesting"):
         if end_ts is None and len(records):
@@ -72,14 +84,24 @@ def build_activity_table(
 
         paired = records["event"] < FIRST_POINT_EVENT
         sel = records[paired]
-        table = _match_frames_vectorized(sel, end_ts, meta)
-        if table is None:
-            # Malformed stream (unmatched or mismatched EXITs): fall back
-            # to the sequential stack walk.  The counter makes the rate of
-            # this slow path a first-class signal.
-            if obs.enabled():
-                obs.counter("nesting.stack_walk_fallback").inc()
-            table = _match_frames_walk(sel, end_ts, strict, meta)
+        if gaps:
+            # Gap resync is inherently sequential: take the stack walk
+            # directly, with markers translated to the paired subset.
+            kept = np.flatnonzero(paired)
+            sel_gaps = [
+                (cpu, gap_ts, int(np.searchsorted(kept, pos, side="left")))
+                for cpu, gap_ts, pos in gaps
+            ]
+            table = _match_frames_walk(sel, end_ts, strict, meta, sel_gaps)
+        else:
+            table = _match_frames_vectorized(sel, end_ts, meta)
+            if table is None:
+                # Malformed stream (unmatched or mismatched EXITs): fall
+                # back to the sequential stack walk.  The counter makes the
+                # rate of this slow path a first-class signal.
+                if obs.enabled():
+                    obs.counter("nesting.stack_walk_fallback").inc()
+                table = _match_frames_walk(sel, end_ts, strict, meta)
         order = np.lexsort(
             (table.data["depth"], table.data["cpu"], table.data["start"])
         )
@@ -232,14 +254,130 @@ def _match_frames_vectorized(
     )
 
 
+class ActivityStackWalker:
+    """Incremental per-CPU ENTRY/EXIT matcher — the sequential core of
+    activity reconstruction, shared by the batch fallback walk and the
+    streaming engine.
+
+    Feed records one at a time (per-CPU time order is what matters); each
+    matched EXIT, lost-event gap, or final truncation emits a 10-tuple
+    ``(event, cpu, pid, start, end, total_ns, self_ns, depth, arg,
+    truncated)`` via ``on_row`` (default: append to :attr:`rows`).  State
+    carries across calls, which is what lets a streaming window hand its
+    open frames forward to the next window for free.
+    """
+
+    __slots__ = ("rows", "_emit", "_stacks", "_strict")
+
+    def __init__(
+        self,
+        strict: bool = False,
+        on_row: Optional[Callable[[tuple], None]] = None,
+    ) -> None:
+        self.rows: List[tuple] = []
+        self._emit = on_row if on_row is not None else self.rows.append
+        # Per-CPU stacks of open frames: [event, start, pid, arg, nested].
+        self._stacks: Dict[int, List[List[int]]] = {}
+        self._strict = strict
+
+    def feed(
+        self, t: int, event: int, cpu: int, flag: int, pid: int, arg: int
+    ) -> None:
+        stack = self._stacks.get(cpu)
+        if stack is None:
+            stack = self._stacks[cpu] = []
+        if flag == _ENTRY:
+            stack.append([event, t, pid, arg, 0])
+        elif flag == _EXIT:
+            if not stack or stack[-1][0] != event:
+                if self._strict:
+                    raise ValueError(
+                        f"unmatched EXIT for {event_name(event)} "
+                        f"on cpu{cpu} at t={t}"
+                    )
+                return
+            frame = stack.pop()
+            start = frame[1]
+            total = t - start
+            self_ns = total - frame[4]
+            if stack:
+                stack[-1][4] += total
+            self._emit((
+                event, cpu, frame[2], start, t, total,
+                self_ns if self_ns > 0 else 0, len(stack), frame[3], False,
+            ))
+
+    def gap(self, cpu: int, gap_ts: int) -> None:
+        """Resynchronize after lost events on ``cpu``.
+
+        Records were lost up to ``gap_ts`` (the first timestamp known good
+        after the loss), so any open frame's EXIT may be gone: truncate
+        every open frame at the gap boundary — mirroring end-of-trace
+        truncation, per the ring-buffer tail-flush invariant — and clear
+        the stack so post-gap orphan EXITs are skipped as unmatched
+        instead of closing pre-gap frames.
+        """
+        stack = self._stacks.get(cpu)
+        if not stack:
+            return
+        for depth, frame in enumerate(stack):
+            total = gap_ts - frame[1]
+            if total < 0:
+                total = 0
+            self_ns = total - frame[4]
+            self._emit((
+                frame[0], cpu, frame[2], frame[1], gap_ts, total,
+                self_ns if self_ns > 0 else 0, depth, frame[3], True,
+            ))
+        del stack[:]
+
+    def open_depth(self, cpu: int) -> int:
+        """Number of open frames on ``cpu``."""
+        stack = self._stacks.get(cpu)
+        return len(stack) if stack else 0
+
+    def open_cpus(self) -> List[int]:
+        """CPUs that currently have at least one open frame."""
+        return [cpu for cpu, stack in self._stacks.items() if stack]
+
+    def oldest_open_start(self, cpu: int) -> Optional[int]:
+        """Start of the deepest (earliest) open frame on ``cpu``, if any."""
+        stack = self._stacks.get(cpu)
+        return stack[0][1] if stack else None
+
+    def depth0_open_start(self, cpu: int) -> Optional[int]:
+        """Start of the open depth-0 frame on ``cpu``, if any."""
+        return self.oldest_open_start(cpu)
+
+    def finish(self, end_ts: int) -> None:
+        """Truncate whatever the end of tracing interrupted."""
+        for cpu, stack in self._stacks.items():
+            for depth, frame in enumerate(stack):
+                total = end_ts - frame[1]
+                if total < 0:
+                    total = 0
+                self_ns = total - frame[4]
+                self._emit((
+                    frame[0], cpu, frame[2], frame[1], end_ts, total,
+                    self_ns if self_ns > 0 else 0, depth, frame[3], True,
+                ))
+            del stack[:]
+
+
+_ENTRY = int(Flag.ENTRY)
+_EXIT = int(Flag.EXIT)
+
+
 def _match_frames_walk(
     sel: np.ndarray,
     end_ts: Optional[int],
     strict: bool,
     meta: Optional[TraceMeta],
+    gaps: Optional[GapMarkers] = None,
 ) -> ActivityTable:
     """Per-CPU stack walk over plain Python lists — the general path,
-    handling unmatched EXITs (skip, or raise under ``strict``)."""
+    handling unmatched EXITs (skip, or raise under ``strict``) and
+    lost-event gap resynchronization."""
     times = sel["time"].tolist()
     events = sel["event"].tolist()
     cpus = sel["cpu"].tolist()
@@ -247,54 +385,30 @@ def _match_frames_walk(
     pids = sel["pid"].tolist()
     args = sel["arg"].tolist()
 
-    # One row tuple per closed activity; transposed into columns below.
-    rows: List[tuple] = []
-    emit = rows.append
-
-    # Per-CPU stacks of open frames: [event, start, pid, arg, nested_ns].
-    stacks: Dict[int, List[List[int]]] = {}
-    ENTRY = int(Flag.ENTRY)
-    EXIT = int(Flag.EXIT)
+    walker = ActivityStackWalker(strict=strict)
+    feed = walker.feed
+    pending = list(gaps) if gaps else []
+    next_gap = pending[0][2] if pending else -1
 
     # hot: per-record fallback walk for malformed streams; keep obs out
+    i = 0
     for t, event, cpu, flag, pid, arg in zip(
         times, events, cpus, flags, pids, args
     ):
-        stack = stacks.get(cpu)
-        if stack is None:
-            stack = stacks[cpu] = []
-        if flag == ENTRY:
-            stack.append([event, t, pid, arg, 0])
-        elif flag == EXIT:
-            if not stack or stack[-1][0] != event:
-                if strict:
-                    raise ValueError(
-                        f"unmatched EXIT for {event_name(event)} "
-                        f"on cpu{cpu} at t={t}"
-                    )
-                continue
-            frame = stack.pop()
-            start = frame[1]
-            total = t - start
-            self_ns = total - frame[4]
-            if stack:
-                stack[-1][4] += total
-            emit((
-                event, cpu, frame[2], start, t, total,
-                self_ns if self_ns > 0 else 0, len(stack), frame[3], False,
-            ))
+        if i == next_gap:
+            while pending and pending[0][2] <= i:
+                gcpu, gts, _ = pending.pop(0)
+                walker.gap(gcpu, gts)
+            next_gap = pending[0][2] if pending else -1
+        feed(t, event, cpu, flag, pid, arg)
+        i += 1
 
-    # Truncate whatever the end of tracing interrupted.
-    for cpu, stack in stacks.items():
-        for depth, frame in enumerate(stack):
-            total = int(end_ts) - frame[1]
-            if total < 0:
-                total = 0
-            self_ns = total - frame[4]
-            emit((
-                frame[0], cpu, frame[2], frame[1], int(end_ts), total,
-                self_ns if self_ns > 0 else 0, depth, frame[3], True,
-            ))
+    # Gaps anchored past the last record (e.g. the flush tail sub-buffer)
+    # still truncate at their own boundary, not at end_ts.
+    for gcpu, gts, _ in pending:
+        walker.gap(gcpu, gts)
+    walker.finish(int(end_ts))
+    rows = walker.rows
 
     if rows:
         (o_event, o_cpu, o_pid, o_start, o_end, o_total, o_self, o_depth,

@@ -154,18 +154,27 @@ class TaskTimeline:
         )
 
     def summary(self) -> Dict[int, Dict[str, float]]:
-        """Per-application-task digest used by reports."""
+        """Per-application-task digest used by reports.
+
+        Occupancy fractions are floats; episode counts and nanosecond
+        sums stay int64-exact (NSX rules) — ``mean_wait_ns`` is the floor
+        of the exact integer quotient, never a lossy float mean.
+        """
         out: Dict[int, Dict[str, float]] = {}
         for pid in self.pids():
             if not self.meta.is_application(pid):
                 continue
             occ = self.occupancy(pid)
             waits = self.wait_times(pid)
+            total_wait = int(waits.sum())
             out[pid] = {
                 "running": occ.get(TaskState.RUNNING, 0.0),
                 "runnable": occ.get(TaskState.RUNNABLE, 0.0),
                 "blocked": occ.get(TaskState.BLOCKED, 0.0),
-                "wait_episodes": float(waits.size),
-                "mean_wait_ns": float(waits.mean()) if waits.size else 0.0,
+                "wait_episodes": int(waits.size),
+                "total_wait_ns": total_wait,
+                "mean_wait_ns": total_wait // int(waits.size)
+                if waits.size
+                else 0,
             }
         return out

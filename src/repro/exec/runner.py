@@ -37,6 +37,7 @@ from repro.exec.spec import RunSpec
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.analysis import NoiseAnalysis
     from repro.core.model import TraceMeta
+    from repro.stream.analysis import StreamingAnalysis
     from repro.tracing.ctf import Trace
 
 #: what the execution paths yield per completed spec
@@ -64,6 +65,27 @@ def execute_spec_serialized(
     elapsed = time.perf_counter() - t0
     obs_json = json.dumps(obs.drain_snapshot()) if obs.enabled() else None
     return trace.to_bytes(), meta.to_json(), elapsed, obs_json
+
+
+def execute_spec_streaming(
+    spec: RunSpec, **stream_kwargs: object
+) -> "StreamingAnalysis":
+    """Simulate one spec analyze-while-simulating: packets are analyzed as
+    the collection daemon drains them and no full trace is assembled, so
+    peak memory stays bounded by the analysis window rather than the trace
+    length.  Returns the finished
+    :class:`~repro.stream.analysis.StreamingAnalysis`; ``stream_kwargs``
+    (``window_ns``, ``quanta``, ``on_chunk``, ...) are forwarded to it.
+    """
+    workload = spec.build_workload()
+    with obs.span("run", workload=spec.workload, seed=spec.seed, stream=True):
+        _node, analysis = workload.run_streaming(
+            spec.duration_ns,
+            seed=spec.seed,
+            ncpus=spec.ncpus,
+            **stream_kwargs,
+        )
+    return analysis
 
 
 @dataclass

@@ -1,0 +1,38 @@
+"""Streaming windowed analysis: decode and analyze a trace as it is
+produced, in bounded memory.
+
+The batch pipeline (:class:`repro.core.analysis.NoiseAnalysis`) needs the
+whole trace in memory before the first answer.  This package computes the
+same answers incrementally, packet by packet:
+
+* :class:`StreamDecoder` — incremental bytes -> :class:`Packet` decoding,
+  tolerant of arbitrary feed boundaries (a packet may arrive split across
+  many reads);
+* :class:`StreamEngine` — the sequential record processor: ENTRY/EXIT
+  pairing, preemption-window reconstruction, and noise classification,
+  producing finalized activity rows as soon as their outcome is decided;
+* :class:`WindowMerger` — stitches per-window results: exact integer
+  aggregates, per-quantum timeline bins sealed once no in-flight activity
+  can still touch them, and per-window :class:`ActivityTable` chunks;
+* :class:`StreamingAnalysis` — the facade mirroring ``NoiseAnalysis``'s
+  query surface (stats, breakdown, noise fraction, timelines) with results
+  bit-identical to batch analysis of the same trace (``std`` excepted: it
+  is computed from exact integer moments rather than ``np.std``'s pairwise
+  float summation, so it matches to float precision, not bit layout).
+
+See ``docs/streaming.md`` for the window/watermark design and the exact
+bit-identity argument.
+"""
+
+from repro.stream.analysis import StreamingAnalysis
+from repro.stream.decoder import StreamDecoder, iter_packets_chronological
+from repro.stream.engine import StreamEngine
+from repro.stream.window import WindowMerger
+
+__all__ = [
+    "StreamDecoder",
+    "StreamEngine",
+    "StreamingAnalysis",
+    "WindowMerger",
+    "iter_packets_chronological",
+]

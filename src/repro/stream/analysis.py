@@ -1,0 +1,431 @@
+"""Streaming analysis facade: ``NoiseAnalysis`` answers in bounded memory.
+
+:class:`StreamingAnalysis` wires the three streaming stages together —
+decode (:class:`~repro.stream.decoder.StreamDecoder` or packet objects
+straight from the tracer), process
+(:class:`~repro.stream.engine.StreamEngine`), merge
+(:class:`~repro.stream.window.WindowMerger`) — behind the same query
+surface the batch :class:`~repro.core.analysis.NoiseAnalysis` offers.
+Every shared query returns bit-identical results on the same trace
+(``std`` matches to float precision; see :mod:`repro.stream`).
+
+Progress is driven by a per-CPU watermark: each packet raises its CPU's
+watermark to the packet ``end_ts`` (ring-buffer chronology guarantees no
+later record on that CPU precedes it), and records are dispatched in
+canonical global order up to the minimum watermark — at every window
+boundary when ``window_ns`` is set, per packet otherwise.  Until every
+CPU has produced a packet there is no global watermark and records are
+only buffered; feed an on-disk CPU-major file through
+:func:`~repro.stream.decoder.iter_packets_chronological` (as
+:meth:`analyze_file` does) so the watermark advances steadily.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.core.analysis import _resolve_event
+from repro.core.model import ActivityTable, NoiseCategory, TraceMeta
+from repro.stream.decoder import StreamDecoder, iter_packets_chronological
+from repro.stream.engine import StreamEngine
+from repro.stream.window import WindowMerger
+from repro.tracing.ctf import Packet, Trace, read_trace_header
+from repro.util.stats import DurationStats
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - resource is POSIX-only
+    _resource = None
+
+
+def _peak_rss_kb() -> Optional[int]:
+    if _resource is None:
+        return None
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+class StreamingAnalysis:
+    """Incremental lttng-noise analysis of a trace being produced."""
+
+    def __init__(
+        self,
+        ncpus: int,
+        start_ts: int,
+        end_ts: Optional[int] = None,
+        meta: Optional[TraceMeta] = None,
+        span_ns: Optional[int] = None,
+        window_ns: Optional[int] = None,
+        quanta: Tuple[int, ...] = (),
+        on_chunk: Optional[Callable[[int, ActivityTable], None]] = None,
+        collect_table: bool = False,
+        strict: bool = False,
+    ) -> None:
+        if collect_table and window_ns is None:
+            raise ValueError("collect_table requires window_ns")
+        self.ncpus = int(ncpus)
+        self.start_ts = int(start_ts)
+        if span_ns is not None:
+            end_ts = self.start_ts + span_ns
+        #: None until finish() in live mode.
+        self.end_ts = None if end_ts is None else int(end_ts)
+        self.span_ns = (
+            max(1, self.end_ts - self.start_ts)
+            if self.end_ts is not None
+            else None
+        )
+        self.meta = meta if meta is not None else TraceMeta()
+        self.window_ns = window_ns
+
+        self._user_chunk = on_chunk
+        self._chunks: Optional[List[ActivityTable]] = (
+            [] if collect_table else None
+        )
+        self._merger = WindowMerger(
+            self.ncpus,
+            self.start_ts,
+            self.meta,
+            window_ns=window_ns,
+            quanta=tuple(int(q) for q in quanta),
+            end_ts=self.end_ts,
+            on_chunk=(
+                self._on_chunk
+                if (on_chunk is not None or collect_table)
+                else None
+            ),
+        )
+        self._engine = StreamEngine(
+            self.end_ts, self.meta, on_row=self._merger.add, strict=strict
+        )
+        self._wm: Dict[int, int] = {}
+        self._next_boundary = (
+            self.start_ts + window_ns if window_ns is not None else None
+        )
+        self._finished = False
+        self.packets_fed = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed_packet(self, packet: Packet) -> None:
+        """Consume one decoded packet (any CPU, per-CPU time order)."""
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        self.packets_fed += 1
+        if packet.lost_before > 0:
+            # Resynchronize at the packet's begin_ts, anchored before the
+            # packet's first record (or the CPU's next record if empty) —
+            # the batch Trace.records_with_gaps() positional anchoring.
+            self._engine.feed_gap(packet.cpu, packet.begin_ts)
+        self._engine.feed_records(packet.cpu, packet.records())
+        wm = self._wm.get(packet.cpu)
+        if wm is None or packet.end_ts > wm:
+            self._wm[packet.cpu] = packet.end_ts
+        if obs.enabled():
+            obs.counter("stream.packets").inc()
+        self._advance()
+
+    def finish(self, end_ts: Optional[int] = None) -> "StreamingAnalysis":
+        """End of stream: process everything left and freeze results."""
+        if self._finished:
+            return self
+        self._finished = True
+        if end_ts is not None:
+            self.end_ts = int(end_ts)
+        if self.end_ts is None:
+            # Live stream without an explicit end: the trace observably
+            # ends at the highest packet end_ts seen.
+            self.end_ts = max(self._wm.values(), default=self.start_ts)
+        self.span_ns = max(1, self.end_ts - self.start_ts)
+        self._engine.finish(self.end_ts)
+        self._merger.finish(self.end_ts)
+        if self._merger.out_of_range:
+            warnings.warn(
+                f"{self._merger.out_of_range} activities reference CPUs >= "
+                f"ncpus={self.ncpus}; they are excluded from noise totals",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._obs_flush()
+        return self
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        meta: Optional[TraceMeta] = None,
+        span_ns: Optional[int] = None,
+        ncpus: Optional[int] = None,
+        **kwargs: object,
+    ) -> "StreamingAnalysis":
+        """Stream an in-memory trace, packet by packet in ``begin_ts``
+        order (stable, so each CPU's packets keep their chronology)."""
+        sa = cls(
+            ncpus=ncpus if ncpus is not None else trace.ncpus,
+            start_ts=trace.start_ts,
+            end_ts=trace.end_ts,
+            meta=meta,
+            span_ns=span_ns,
+            **kwargs,
+        )
+        for packet in sorted(trace.packets, key=lambda p: p.begin_ts):
+            sa.feed_packet(packet)
+        return sa.finish()
+
+    @classmethod
+    def analyze_file(
+        cls,
+        path: str,
+        meta: Optional[TraceMeta] = None,
+        span_ns: Optional[int] = None,
+        ncpus: Optional[int] = None,
+        **kwargs: object,
+    ) -> "StreamingAnalysis":
+        """Stream a trace file without loading it: header-only scan, then
+        packets decoded one at a time in chronological order."""
+        with open(path, "rb") as fp:
+            shell = read_trace_header(fp)
+            sa = cls(
+                ncpus=ncpus if ncpus is not None else shell.ncpus,
+                start_ts=shell.start_ts,
+                end_ts=shell.end_ts,
+                meta=meta,
+                span_ns=span_ns,
+                **kwargs,
+            )
+            for packet in iter_packets_chronological(fp):
+                sa.feed_packet(packet)
+        return sa.finish()
+
+    @classmethod
+    def from_byte_stream(
+        cls,
+        pieces: Iterable[bytes],
+        meta: Optional[TraceMeta] = None,
+        span_ns: Optional[int] = None,
+        ncpus: Optional[int] = None,
+        **kwargs: object,
+    ) -> "StreamingAnalysis":
+        """Stream raw trace bytes arriving in arbitrary pieces (a socket,
+        a pipe from the collection daemon)."""
+        decoder = StreamDecoder()
+        sa: Optional[StreamingAnalysis] = None
+        for data in pieces:
+            packets = decoder.feed(data)
+            if sa is None and decoder.trace is not None:
+                shell = decoder.trace
+                sa = cls(
+                    ncpus=ncpus if ncpus is not None else shell.ncpus,
+                    start_ts=shell.start_ts,
+                    end_ts=shell.end_ts,
+                    meta=meta,
+                    span_ns=span_ns,
+                    **kwargs,
+                )
+            for packet in packets:
+                sa.feed_packet(packet)
+        decoder.finish()
+        if sa is None:
+            import io
+
+            read_trace_header(io.BytesIO(b""))  # raises the batch error
+        return sa.finish()
+
+    # ------------------------------------------------------------------
+    # Watermark-driven processing
+    # ------------------------------------------------------------------
+    def _global_watermark(self) -> Optional[int]:
+        wm: Optional[int] = None
+        for cpu in range(self.ncpus):
+            v = self._wm.get(cpu)
+            if v is None:
+                return None
+            if wm is None or v < wm:
+                wm = v
+        for cpu, v in self._wm.items():
+            if cpu >= self.ncpus and v < wm:
+                wm = v
+        return wm
+
+    def _advance(self) -> None:
+        wm = self._global_watermark()
+        if wm is None:
+            return
+        if self.window_ns is None:
+            self._process(wm)
+            return
+        while self._next_boundary <= wm:
+            boundary = self._next_boundary
+            self._next_boundary = boundary + self.window_ns
+            index = (boundary - self.start_ts) // self.window_ns - 1
+            with obs.span("stream.window", index=index):
+                self._process(boundary)
+
+    def _process(self, boundary: int) -> None:
+        n = self._engine.process_to(boundary)
+        floor = self._engine.cursor
+        if floor is not None:
+            pending = self._engine.pending_floor()
+            if pending is not None and pending < floor:
+                floor = pending
+            self._merger.seal_to(floor)
+        if obs.enabled():
+            if n:
+                obs.counter("stream.records").inc(n)
+            self._obs_flush()
+
+    def _on_chunk(self, index: int, table: ActivityTable) -> None:
+        if self._chunks is not None:
+            self._chunks.append(table)
+        if self._user_chunk is not None:
+            self._user_chunk(index, table)
+
+    def _obs_flush(self) -> None:
+        if not obs.enabled():
+            return
+        counts = self._engine.pending_counts()
+        obs.gauge("stream.pending_records").set(counts["records"])
+        obs.gauge("stream.pending_rows").set(
+            counts["pending_rows"] + counts["pending_windows"]
+        )
+        obs.gauge("stream.open_frames").set(counts["open_frames"])
+        peak = _peak_rss_kb()
+        if peak is not None:
+            obs.gauge("stream.peak_rss_kb").set(peak)
+
+    # ------------------------------------------------------------------
+    # Query surface (mirrors NoiseAnalysis; results are bit-identical)
+    # ------------------------------------------------------------------
+    def _require_finished(self) -> None:
+        if not self._finished:
+            raise RuntimeError("finish() the stream before querying results")
+
+    def stats(
+        self, event: Union[int, str], noise_only: bool = False
+    ) -> DurationStats:
+        """One ``(freq, avg, max, min)`` row; freq is per CPU-second."""
+        self._require_finished()
+        resolved = _resolve_event(event)
+        return self._merger.moments_for_event(resolved, noise_only).describe(
+            self.span_ns, self.ncpus
+        )
+
+    def stats_by_event(
+        self, noise_only: bool = True
+    ) -> Dict[str, DurationStats]:
+        """Stats for every activity type present in the trace."""
+        self._require_finished()
+        return {
+            name: moments.describe(self.span_ns, self.ncpus)
+            for name, moments in self._merger.moments_by_name(
+                noise_only
+            ).items()
+        }
+
+    def breakdown_ns(self) -> Dict[NoiseCategory, int]:
+        """Total noise self-time per category (truncated included)."""
+        self._require_finished()
+        return self._merger.breakdown_ns()
+
+    def breakdown_fractions(self) -> Dict[NoiseCategory, float]:
+        self._require_finished()
+        totals = self._merger.breakdown_ns()
+        grand = sum(totals.values())
+        if grand == 0:
+            return {c: 0.0 for c in totals}
+        return {c: v / grand for c, v in totals.items()}
+
+    def total_noise_ns(self) -> int:
+        self._require_finished()
+        return self._merger.total_noise_ns
+
+    def noise_fraction(self) -> float:
+        """Noise time as a fraction of total CPU time observed."""
+        self._require_finished()
+        return self._merger.total_noise_ns / (self.span_ns * self.ncpus)
+
+    def per_cpu_noise_ns(self) -> np.ndarray:
+        self._require_finished()
+        return self._merger.per_cpu_noise_ns()
+
+    def per_cpu_breakdown(self) -> Dict[int, Dict[NoiseCategory, int]]:
+        self._require_finished()
+        return self._merger.per_cpu_breakdown()
+
+    def noise_imbalance(self) -> float:
+        """Max/mean ratio of per-CPU noise: 1.0 = perfectly even."""
+        self._require_finished()
+        per_cpu = self._merger.per_cpu_noise_ns().astype(np.float64)
+        mean = per_cpu.mean()
+        if mean <= 0:
+            return 1.0
+        return float(per_cpu.max() / mean)
+
+    def markers(self) -> np.ndarray:
+        """Workload marker point events as ``(time, pid, arg)`` rows."""
+        self._require_finished()
+        found = self._engine.markers
+        out = np.zeros((len(found), 3), dtype=np.int64)
+        if found:
+            out[:, 0] = np.array(
+                [t for t, _, _ in found], dtype=np.uint64
+            ).astype(np.int64)
+            out[:, 1] = np.array(
+                [pid for _, pid, _ in found], dtype=np.int64
+            )
+            out[:, 2] = np.array(
+                [arg for _, _, arg in found], dtype=np.uint64
+            ).astype(np.int64)
+        return out
+
+    def noise_timeline(
+        self,
+        quantum_ns: int,
+        cpu: Optional[int] = None,
+        t0: Optional[int] = None,
+        t1: Optional[int] = None,
+    ) -> np.ndarray:
+        """Noise nanoseconds per quantum for a quantum configured at
+        construction.  Streaming timelines are precomputed full-span,
+        all-CPU series; per-CPU or custom-range views need the batch
+        analysis."""
+        self._require_finished()
+        if cpu is not None or t0 is not None or t1 is not None:
+            raise ValueError(
+                "streaming timelines support only the full-span, all-CPU "
+                "series (cpu=t0=t1=None)"
+            )
+        return self._merger.timeline(quantum_ns)
+
+    # ------------------------------------------------------------------
+    # Streaming-specific accessors
+    # ------------------------------------------------------------------
+    @property
+    def windows_emitted(self) -> int:
+        return self._merger.windows_emitted
+
+    @property
+    def records_processed(self) -> int:
+        return self._engine.records_processed
+
+    @property
+    def activities_total(self) -> int:
+        return self._merger.rows
+
+    def table(self) -> ActivityTable:
+        """Concatenation of all window chunks — the batch table, row for
+        row (requires ``collect_table=True``)."""
+        self._require_finished()
+        if self._chunks is None:
+            raise RuntimeError("constructed without collect_table=True")
+        if not self._chunks:
+            return ActivityTable.from_columns(0, meta=self.meta)
+        data = np.concatenate([chunk.data for chunk in self._chunks])
+        return ActivityTable(data, meta=self.meta)
+
+    def pending_counts(self) -> Dict[str, int]:
+        return self._engine.pending_counts()

@@ -1,0 +1,546 @@
+"""The streaming record processor.
+
+One pass over the record stream in canonical order reproduces, row for
+row, what the batch pipeline computes in three passes (pairing ->
+preemption windows -> classification).  The engine's contract is *bounded
+deferral*: every activity row is emitted as soon as its classification and
+self-time are decided, and everything still undecided is summarized by
+:meth:`StreamEngine.pending_floor` — no emitted-or-future row can start
+before that floor, which is what lets the merger seal timeline bins and
+ship window chunks behind it.
+
+Canonical order
+---------------
+Batch analysis sorts the concatenated packets stably by timestamp, so ties
+resolve in packet order; the tracer writes packets CPU-major, which makes
+the batch tie order ``(time, cpu, per-cpu sequence)``.  The engine buffers
+records per CPU and processes them in exactly that key order, so both
+paths walk the same record sequence and every stateful reconstruction
+(stacks, preemption segments, displaced pids) transitions identically.
+
+Deferred decisions
+------------------
+Three outcomes can depend on records not yet seen; each gets the smallest
+sufficient deferral:
+
+* **daemon-context noise** needs the last preemption window starting at or
+  before the activity.  With the current record at ``t`` and the activity
+  starting at ``s``, ``t > s`` decides immediately (an open daemon segment
+  covering ``s`` with a displaced rank will close after ``s``; otherwise
+  the emitted-window history is complete up to ``s``); only ``t == s``
+  rows wait for the CPU's next context switch.
+* **preemption self-time** subtracts depth-0 kernel intervals starting
+  inside the window; a window waits only while a depth-0 frame that
+  started inside it is still open.
+* **timeline bins** are a merger concern; the engine just exposes the
+  floor.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classify import CATEGORY_LUT, SERVICE_CODE, TRACER_CODE
+from repro.core.model import (
+    PREEMPT_EVENT,
+    TRACER_PREEMPT_EVENT,
+    TraceMeta,
+)
+from repro.core.nesting import ActivityStackWalker
+from repro.simkernel.task import TaskKind, TaskState
+from repro.tracing.events import Ev, FIRST_POINT_EVENT, RECORD_DTYPE
+
+#: Finalized-row kinds, the tie-break key between a paired kernel activity
+#: and a preemption window sharing ``(start, cpu, depth)`` — batch merge
+#: order puts kernel activities first.
+KIND_KACT = 0
+KIND_PREEMPT = 1
+
+#: Emitted row: (event, cpu, pid, start, end, total_ns, self_ns, depth,
+#: arg, category, is_noise, truncated, displaced_pid, kind, seq).
+Row = Tuple[
+    int, int, int, int, int, int, int, int, int, int, bool, bool, int,
+    int, int,
+]
+
+_EV_STATE = int(Ev.TASK_STATE)
+_EV_SWITCH = int(Ev.SCHED_SWITCH)
+_EV_MARKER = int(Ev.MARKER)
+_RUNNABLE = int(TaskState.RUNNABLE)
+_DAEMON_KINDS = (
+    int(TaskKind.KDAEMON), int(TaskKind.UDAEMON), int(TaskKind.TRACERD)
+)
+_TRACERD = int(TaskKind.TRACERD)
+_RANK = int(TaskKind.RANK)
+_IDLE = int(TaskKind.IDLE)
+
+
+class StreamEngine:
+    """Canonical-order record processor emitting finalized activity rows.
+
+    ``on_row`` receives each :data:`Row` exactly once, when its category,
+    noise flag and self-time are final.  Rows are not globally ordered on
+    emission; their canonical table position is the sort key
+    ``(start, cpu, depth, kind, seq)``, which consumers use to reproduce
+    batch table order bit for bit.
+    """
+
+    def __init__(
+        self,
+        end_ts: Optional[int],
+        meta: TraceMeta,
+        on_row: Callable[[Row], None],
+        strict: bool = False,
+    ) -> None:
+        # None = live mode: the analysis end is unknown until finish();
+        # daemon-context rows then always defer to the window history.
+        self.end_ts = None if end_ts is None else int(end_ts)
+        self.meta = meta
+        self.on_row = on_row
+        self.markers: List[Tuple[int, int, int]] = []
+        self.records_processed = 0
+        self.rows_emitted = 0
+
+        self._walker = ActivityStackWalker(
+            strict=strict, on_row=self._on_kact_row
+        )
+        # Per-CPU record buffers: (structured array, first sequence no).
+        self._buffers: Dict[int, List[Tuple[np.ndarray, int]]] = {}
+        self._next_seq: Dict[int, int] = {}
+        self._pending_records = 0
+        # Lost-event gaps awaiting their anchor record: cpu -> deque of
+        # (anchor_seq, gap_ts).
+        self._gaps: Dict[int, Deque[Tuple[int, int]]] = {}
+
+        # Preemption machinery (mirrors _build_preemption_table state).
+        self._state: Dict[int, int] = {}
+        self._open_seg: Dict[int, List[int]] = {}
+        self._displaced: Dict[int, Optional[int]] = {}
+        self._kind_cache: Dict[int, int] = {}
+
+        # Emitted-window history per CPU for the covering-window test,
+        # pruned behind the classification horizon.
+        self._hist_ws: Dict[int, List[int]] = {}
+        self._hist_we: Dict[int, List[int]] = {}
+        # Closed depth-0 kernel intervals per CPU, consumed (in start
+        # order) by window self-time subtraction.
+        self._k0: Dict[int, Deque[Tuple[int, int]]] = {}
+        # Windows waiting for an in-window depth-0 frame to close.
+        self._pending_sub: Dict[int, Deque[list]] = {}
+        # Daemon-context rows whose covering-window test is undecided.
+        self._pending_cls: Dict[int, List[tuple]] = {}
+
+        self._kact_seq = 0
+        self._preempt_seq = 0
+        self._cursor: Optional[int] = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+    def feed_records(self, cpu: int, records: np.ndarray) -> None:
+        """Buffer one packet's records (per-CPU chronological order)."""
+        if records.dtype != RECORD_DTYPE:
+            records = np.asarray(records, dtype=RECORD_DTYPE)
+        if not len(records):
+            return
+        seq = self._next_seq.get(cpu, 0)
+        self._buffers.setdefault(cpu, []).append((records, seq))
+        self._next_seq[cpu] = seq + len(records)
+        self._pending_records += len(records)
+
+    def feed_gap(self, cpu: int, gap_ts: int) -> None:
+        """Note lost events on ``cpu``; open frames truncate at ``gap_ts``
+        just before the next record fed for that CPU is processed (or at
+        end of stream if none follows), matching the batch positional
+        anchoring of :meth:`repro.tracing.ctf.Trace.records_with_gaps`."""
+        anchor = self._next_seq.get(cpu, 0)
+        self._gaps.setdefault(cpu, deque()).append((anchor, int(gap_ts)))
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+    def process_to(self, boundary: Optional[int]) -> int:
+        """Process every buffered record with ``time < boundary`` (all of
+        them when ``boundary`` is None), in canonical order.  The caller
+        guarantees no future record times below the boundary (watermark).
+        Returns the number of records processed."""
+        pieces: List[Tuple[np.ndarray, int, int]] = []
+        for cpu, chunks in self._buffers.items():
+            kept: List[Tuple[np.ndarray, int]] = []
+            for arr, seq0 in chunks:
+                if boundary is None:
+                    pieces.append((arr, cpu, seq0))
+                    continue
+                cut = int(np.searchsorted(arr["time"], boundary, side="left"))
+                if cut == len(arr):
+                    pieces.append((arr, cpu, seq0))
+                elif cut == 0:
+                    kept.append((arr, seq0))
+                else:
+                    pieces.append((arr[:cut], cpu, seq0))
+                    kept.append((arr[cut:], seq0 + cut))
+            chunks[:] = kept
+        if boundary is not None:
+            self._cursor = (
+                boundary if self._cursor is None
+                else max(self._cursor, boundary)
+            )
+        if not pieces:
+            return 0
+
+        times = np.concatenate([p[0]["time"] for p in pieces])
+        events = np.concatenate([p[0]["event"] for p in pieces])
+        flags = np.concatenate([p[0]["flag"] for p in pieces])
+        pids = np.concatenate([p[0]["pid"] for p in pieces])
+        args = np.concatenate([p[0]["arg"] for p in pieces])
+        cpus = np.concatenate([
+            np.full(len(p[0]), p[1], dtype=np.int64) for p in pieces
+        ])
+        seqs = np.concatenate([
+            np.arange(p[2], p[2] + len(p[0]), dtype=np.int64) for p in pieces
+        ])
+        order = np.lexsort((seqs, cpus, times))
+        n = len(order)
+        self._pending_records -= n
+        self.records_processed += n
+
+        walker_feed = self._walker.feed
+        gaps = self._gaps
+        for t, event, cpu, flag, pid, arg, seq in zip(
+            times[order].tolist(), events[order].tolist(),
+            cpus[order].tolist(), flags[order].tolist(),
+            pids[order].tolist(), args[order].tolist(),
+            seqs[order].tolist(),
+        ):
+            if gaps:
+                gq = gaps.get(cpu)
+                if gq:
+                    while gq and gq[0][0] <= seq:
+                        self._apply_gap(cpu, gq.popleft()[1])
+                    if not gq:
+                        del gaps[cpu]
+            if event < FIRST_POINT_EVENT:
+                walker_feed(t, event, cpu, flag, pid, arg)
+            elif event == _EV_SWITCH:
+                self._on_switch(cpu, t, arg)
+            elif event == _EV_STATE:
+                self._state[arg >> 8] = arg & 0xFF
+            elif event == _EV_MARKER:
+                self.markers.append((t, pid, arg))
+        self._prune_k0()
+        return n
+
+    def finish(self, end_ts: Optional[int] = None) -> None:
+        """End of stream: drain buffers, truncate what is still open, and
+        resolve every deferred decision.  ``end_ts`` supplies the analysis
+        end for live mode (required if the constructor got None)."""
+        if self._finished:
+            return
+        self._finished = True
+        if end_ts is not None:
+            self.end_ts = int(end_ts)
+        if self.end_ts is None:
+            raise ValueError("end_ts required to finish a live stream")
+        self.process_to(None)
+        # Leftover gaps (e.g. an empty tail sub-buffer with no later
+        # record on its CPU) truncate at their own boundary, before
+        # end-of-trace truncation — batch order.
+        for cpu in sorted(self._gaps):
+            for _, gap_ts in self._gaps[cpu]:
+                self._apply_gap(cpu, gap_ts)
+        self._gaps.clear()
+        self._walker.finish(self.end_ts)
+        for cpu in list(self._open_seg):
+            self._close_segment(cpu, self.end_ts, truncated=True)
+        # All frames are closed now, so every window can subtract.
+        for cpu in list(self._pending_sub):
+            queue = self._pending_sub[cpu]
+            while queue:
+                self._finalize_window(cpu, queue.popleft())
+        # And the window history is complete, so every deferred
+        # daemon-context row can take the covering-window test.
+        for cpu in list(self._pending_cls):
+            for entry in self._pending_cls.pop(cpu):
+                self._emit_deferred(cpu, entry)
+
+    # ------------------------------------------------------------------
+    @property
+    def cursor(self) -> Optional[int]:
+        """Highest processed boundary: every record below it is done."""
+        return self._cursor
+
+    def pending_floor(self) -> Optional[int]:
+        """Smallest possible ``start`` of any not-yet-emitted row, or None
+        when nothing is in flight.  Buffered records are not included; the
+        caller combines this with its processing cursor."""
+        floor: Optional[int] = None
+
+        def lower(value: Optional[int]) -> None:
+            nonlocal floor
+            if value is not None and (floor is None or value < floor):
+                floor = value
+
+        for cpu in self._walker.open_cpus():
+            lower(self._walker.oldest_open_start(cpu))
+        for seg in self._open_seg.values():
+            lower(seg[1])
+        for queue in self._pending_sub.values():
+            if queue:
+                lower(queue[0][3])
+        for entries in self._pending_cls.values():
+            for entry in entries:
+                lower(entry[3])
+        return floor
+
+    def pending_counts(self) -> Dict[str, int]:
+        """Sizes of the in-flight state (observability/benchmarks)."""
+        return {
+            "records": self._pending_records,
+            "open_frames": sum(
+                self._walker.open_depth(cpu)
+                for cpu in self._walker.open_cpus()
+            ),
+            "open_segments": len(self._open_seg),
+            "pending_windows": sum(
+                len(q) for q in self._pending_sub.values()
+            ),
+            "pending_rows": sum(
+                len(e) for e in self._pending_cls.values()
+            ),
+            "retained_intervals": sum(len(d) for d in self._k0.values()),
+            "history_windows": sum(
+                len(ws) for ws in self._hist_ws.values()
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Internal: pairing output
+    # ------------------------------------------------------------------
+    def _apply_gap(self, cpu: int, gap_ts: int) -> None:
+        self._walker.gap(cpu, gap_ts)
+        self._drain_pending_sub(cpu)
+
+    def _on_kact_row(self, row: tuple) -> None:
+        (event, cpu, pid, start, end, total, self_ns, depth, arg,
+         truncated) = row
+        seq = self._kact_seq
+        self._kact_seq += 1
+        if depth == 0:
+            self._k0.setdefault(cpu, deque()).append((start, end))
+            self._drain_pending_sub(cpu)
+        cat = int(CATEGORY_LUT[event])
+        if cat == SERVICE_CODE or cat == TRACER_CODE:
+            noise = False
+        else:
+            kind = self._kind(pid)
+            if kind == _RANK:
+                noise = True
+            elif kind == _IDLE:
+                noise = False
+            elif (
+                end > start
+                and self.end_ts is not None
+                and self.end_ts > start
+            ):
+                noise = self._daemon_noise_now(cpu, start)
+            else:
+                # Zero-length activity (or one starting at/after the
+                # analysis end): a window starting exactly at ``start``
+                # may still appear; wait for the CPU's next switch.
+                self._pending_cls.setdefault(cpu, []).append(
+                    (event, cpu, pid, start, end, total, self_ns, depth,
+                     arg, cat, truncated, seq)
+                )
+                return
+        self._emit(
+            (event, cpu, pid, start, end, total, self_ns, depth, arg,
+             cat, noise, truncated, -1, KIND_KACT, seq)
+        )
+
+    def _daemon_noise_now(self, cpu: int, s: int) -> bool:
+        """Covering-window test for a daemon-context activity starting at
+        ``s``, decided at a processing time strictly after ``s``: the open
+        daemon segment (if it covers ``s``) is the last candidate window
+        and its fate is already sealed by the frozen displaced pid; failing
+        that, the emitted history is complete up to ``s``."""
+        seg = self._open_seg.get(cpu)
+        if seg is not None and seg[1] <= s:
+            return self._displaced.get(cpu) is not None
+        return self._history_hit(cpu, s)
+
+    def _history_hit(self, cpu: int, s: int) -> bool:
+        ws = self._hist_ws.get(cpu)
+        if not ws:
+            return False
+        idx = bisect.bisect_right(ws, s) - 1
+        return idx >= 0 and self._hist_we[cpu][idx] > s
+
+    def _emit_deferred(self, cpu: int, entry: tuple) -> None:
+        (event, _, pid, start, end, total, self_ns, depth, arg, cat,
+         truncated, seq) = entry
+        noise = self._history_hit(cpu, start)
+        self._emit(
+            (event, cpu, pid, start, end, total, self_ns, depth, arg,
+             cat, noise, truncated, -1, KIND_KACT, seq)
+        )
+
+    # ------------------------------------------------------------------
+    # Internal: preemption machinery (batch semantics, incremental)
+    # ------------------------------------------------------------------
+    def _kind(self, pid: int) -> int:
+        kind = self._kind_cache.get(pid)
+        if kind is None:
+            kind = int(self.meta.kind_of(pid))
+            self._kind_cache[pid] = kind
+        return kind
+
+    def _on_switch(self, cpu: int, t: int, arg: int) -> None:
+        prev_pid = arg >> 32
+        next_pid = arg & 0xFFFFFFFF
+        self._close_segment(cpu, t)
+        if (
+            self._kind(prev_pid) == _RANK
+            and self._state.get(prev_pid) == _RUNNABLE
+        ):
+            self._displaced[cpu] = prev_pid
+        if self._kind(next_pid) in _DAEMON_KINDS:
+            self._open_seg[cpu] = [next_pid, t]
+        else:
+            self._displaced[cpu] = None
+        # Every window starting at or before t is now in the history (or
+        # was discarded for good), so rows that deferred at start < t can
+        # take the covering-window test.
+        pending = self._pending_cls.get(cpu)
+        if pending:
+            keep = []
+            for entry in pending:
+                if entry[3] < t:
+                    self._emit_deferred(cpu, entry)
+                else:
+                    keep.append(entry)
+            if keep:
+                self._pending_cls[cpu] = keep
+            else:
+                del self._pending_cls[cpu]
+
+    def _close_segment(
+        self, cpu: int, t: int, truncated: bool = False
+    ) -> None:
+        seg = self._open_seg.pop(cpu, None)
+        if seg is None:
+            return
+        disp = self._displaced.get(cpu)
+        if disp is None:
+            return
+        daemon_pid, start = seg
+        total = t - start
+        if total <= 0:
+            return
+        event = (
+            TRACER_PREEMPT_EVENT
+            if self._kind(daemon_pid) == _TRACERD
+            else PREEMPT_EVENT
+        )
+        seq = self._preempt_seq
+        self._preempt_seq += 1
+        self._hist_ws.setdefault(cpu, []).append(start)
+        self._hist_we.setdefault(cpu, []).append(t)
+        self._prune_history(cpu, t)
+        window = [event, cpu, daemon_pid, start, t, total, disp, truncated,
+                  seq]
+        d0 = self._walker.depth0_open_start(cpu)
+        queue = self._pending_sub.get(cpu)
+        if queue or (d0 is not None and d0 < t):
+            # A depth-0 kernel frame that started inside the window (or an
+            # earlier window on this CPU) is still open; subtraction waits.
+            # Queueing behind earlier windows keeps per-CPU finalization in
+            # start order, which the interval-consuming deque relies on.
+            self._pending_sub.setdefault(cpu, deque()).append(window)
+        else:
+            self._finalize_window(cpu, window)
+
+    def _drain_pending_sub(self, cpu: int) -> None:
+        queue = self._pending_sub.get(cpu)
+        if not queue:
+            return
+        # The blocking frame just closed, which empties the stack (depth-0
+        # close) or cleared it (gap): every queued window can subtract.
+        if self._walker.open_depth(cpu) == 0:
+            while queue:
+                self._finalize_window(cpu, queue.popleft())
+            del self._pending_sub[cpu]
+
+    def _finalize_window(self, cpu: int, window: list) -> None:
+        event, _, pid, w0, w1, total, disp, truncated, seq = window
+        intervals = self._k0.get(cpu)
+        nested = 0
+        last_ke: Optional[int] = None
+        if intervals:
+            # Windows finalize in start order, so intervals starting
+            # before this window are dead; those starting inside it are
+            # consumed here and can never be needed again (the next
+            # window starts at or after this one's end).
+            while intervals and intervals[0][0] < w0:
+                intervals.popleft()
+            while intervals and intervals[0][0] < w1:
+                ks, ke = intervals.popleft()
+                if ke > ks:
+                    nested += ke - ks
+                last_ke = ke
+        if last_ke is not None and last_ke > w1:
+            # Only the last in-range interval can extend past the window.
+            nested -= last_ke - w1
+        self_v = total - nested
+        if self_v < 0:
+            self_v = 0
+        cat = int(CATEGORY_LUT[event])
+        noise = event == PREEMPT_EVENT
+        self._emit(
+            (event, cpu, pid, w0, w1, total, self_v, 0, 0, cat, noise,
+             truncated, disp, KIND_PREEMPT, seq)
+        )
+
+    def _prune_history(self, cpu: int, t: int) -> None:
+        """Drop windows no future covering-window test can select: keep
+        the last window starting at or before the horizon, plus everything
+        after it."""
+        horizon = t
+        oldest = self._walker.oldest_open_start(cpu)
+        if oldest is not None and oldest < horizon:
+            horizon = oldest
+        for entry in self._pending_cls.get(cpu, ()):
+            if entry[3] < horizon:
+                horizon = entry[3]
+        ws = self._hist_ws[cpu]
+        cut = bisect.bisect_right(ws, horizon) - 1
+        if cut > 0:
+            del ws[:cut]
+            del self._hist_we[cpu][:cut]
+
+    def _prune_k0(self) -> None:
+        """Drop retained depth-0 intervals behind every possible window:
+        open segments, queued windows, and anything the cursor has not
+        passed yet bound the horizon."""
+        if self._cursor is None:
+            return
+        for cpu, intervals in self._k0.items():
+            if not intervals:
+                continue
+            horizon = self._cursor
+            seg = self._open_seg.get(cpu)
+            if seg is not None and seg[1] < horizon:
+                horizon = seg[1]
+            queue = self._pending_sub.get(cpu)
+            if queue and queue[0][3] < horizon:
+                horizon = queue[0][3]
+            while intervals and intervals[0][0] < horizon:
+                intervals.popleft()
+
+    def _emit(self, row: Row) -> None:
+        self.rows_emitted += 1
+        self.on_row(row)

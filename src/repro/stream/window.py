@@ -1,0 +1,427 @@
+"""Window-granular merging of streaming activity rows.
+
+:class:`WindowMerger` consumes the finalized rows the
+:class:`~repro.stream.engine.StreamEngine` emits — in *emission* order,
+which is not table order — and maintains every aggregate the batch
+analysis derives from the full table, exactly:
+
+* **duration stats** as integer moments ``(count, total, min, max,
+  sum-of-squares)`` per ``(event, pid)`` key and population (all /
+  noise-only, truncated rows excluded).  Count, total, min, max and the
+  derived mean are bit-identical to the batch numbers (integer sums are
+  exact under float64 pairwise summation while below 2**53); the standard
+  deviation comes from the exact moments instead of ``np.std``'s float
+  pipeline, so it matches to float precision, not bit layout;
+* **noise totals** per category, per CPU and per ``(cpu, category)`` —
+  plain int64-exact sums over the same ``is_noise & cpu < ncpus`` mask the
+  batch queries use;
+* **timeline bins**: one :class:`_TimelineBinner` per configured quantum
+  adds each noise row's contribution in canonical table order (rows are
+  re-sorted per bin), and seals a bin only when no in-flight or future
+  activity can still overlap it — the float accumulation order inside a
+  bin is then exactly the batch ``np.add.at`` order;
+* **window chunks**: per-window :class:`ActivityTable` slices in canonical
+  row order, emitted once the window is sealed.  Concatenating all chunks
+  reproduces the batch table row for row.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.model import (
+    ActivityTable,
+    BREAKDOWN_CATEGORIES,
+    CATEGORY_CODE,
+    CATEGORY_ORDER,
+    NoiseCategory,
+    PREEMPT_EVENT,
+    TRACER_PREEMPT_EVENT,
+    TraceMeta,
+)
+from repro.util.stats import DurationStats
+from repro.util.units import SEC
+
+
+class Moments:
+    """Exact integer moments of one duration population."""
+
+    __slots__ = ("count", "total", "mn", "mx", "sq")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.mn = 0
+        self.mx = 0
+        self.sq = 0  # sum of squares, arbitrary-precision int
+
+    def add(self, value: int) -> None:
+        if self.count == 0:
+            self.mn = value
+            self.mx = value
+        else:
+            if value < self.mn:
+                self.mn = value
+            if value > self.mx:
+                self.mx = value
+        self.count += 1
+        self.total += value
+        self.sq += value * value
+
+    def merge(self, other: "Moments") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.mn = other.mn
+            self.mx = other.mx
+        else:
+            if other.mn < self.mn:
+                self.mn = other.mn
+            if other.mx > self.mx:
+                self.mx = other.mx
+        self.count += other.count
+        self.total += other.total
+        self.sq += other.sq
+
+    def describe(self, span_ns: int, cpus: int) -> DurationStats:
+        """The batch :func:`describe_durations` row from exact moments.
+
+        ``std`` uses the textbook identity on exact integers — the one
+        value that is *numerically equal* rather than bit-identical to the
+        batch ``np.std``.
+        """
+        if span_ns <= 0:
+            raise ValueError("span_ns must be positive")
+        if cpus <= 0:
+            raise ValueError("cpus must be positive")
+        if self.count == 0:
+            return DurationStats.empty()
+        disc = self.count * self.sq - self.total * self.total
+        if disc < 0:
+            disc = 0
+        return DurationStats(
+            count=self.count,
+            freq=self.count / (span_ns / SEC) / cpus,
+            avg=self.total / self.count,
+            max=self.mx,
+            min=self.mn,
+            std=math.sqrt(disc) / self.count,
+            total=self.total,
+        )
+
+
+class _TimelineBinner:
+    """One noise-per-quantum series, sealed incrementally.
+
+    A bin can be sealed once every activity overlapping it has been
+    emitted — i.e. when the engine's pending floor has passed the bin end.
+    At seal time the bin's contributions are accumulated in canonical
+    table order (the active rows are kept sorted by the canonical row
+    key), reproducing the batch activity-major ``np.add.at`` float
+    accumulation bit for bit.  Contributions of zero are skipped: adding
+    ``+0.0`` to a non-negative float sum is a bitwise no-op.
+    """
+
+    __slots__ = ("quantum_ns", "t0", "t1", "values", "_active", "_next")
+
+    def __init__(
+        self, quantum_ns: int, t0: int, t1: Optional[int] = None
+    ) -> None:
+        if quantum_ns <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum_ns = quantum_ns
+        self.t0 = t0
+        self.t1 = t1
+        self.values: List[float] = []
+        # (start, cpu, depth, kind, seq, end, density): canonical-key
+        # prefix first, so tuple order IS table order.
+        self._active: List[Tuple[int, int, int, int, int, int, float]] = []
+        self._next = 0
+
+    def add(
+        self,
+        key: Tuple[int, int, int, int, int],
+        end: int,
+        self_ns: int,
+        total_ns: int,
+    ) -> None:
+        """Register one noise row (caller filters ``is_noise``)."""
+        tot = total_ns if total_ns > 1 else 1
+        density = self_ns / tot
+        if end <= self.t0 + self._next * self.quantum_ns:
+            return  # every bin it could touch is already sealed
+        insort(self._active, key + (end, density))
+
+    def _n_bins(self) -> int:
+        return max(1, -(-(self.t1 - self.t0) // self.quantum_ns))
+
+    def seal_to(self, floor: int) -> None:
+        """Seal every bin whose end the pending floor has passed."""
+        while self.t0 + (self._next + 1) * self.quantum_ns <= floor:
+            if self.t1 is not None and self._next >= self._n_bins():
+                break
+            self._seal_one()
+
+    def _seal_one(self) -> None:
+        qb = self.t0 + self._next * self.quantum_ns
+        qe = qb + self.quantum_ns
+        v = 0.0
+        for entry in self._active:
+            start = entry[0]
+            if start >= qe:
+                break
+            if self.t1 is not None and start >= self.t1:
+                continue  # batch masks rows starting at/after t1
+            end = entry[5]
+            ov = (end if end < qe else qe) - (start if start > qb else qb)
+            if ov > 0:
+                v += ov * entry[6]
+        self.values.append(v)
+        self._next += 1
+        if self._active:
+            self._active = [e for e in self._active if e[5] > qe]
+
+    def finish(self, t1: int) -> None:
+        if self.t1 is None:
+            self.t1 = t1
+        n = self._n_bins()
+        while self._next < n:
+            self._seal_one()
+        del self._active[:]
+        if len(self.values) > n:
+            del self.values[n:]
+
+    def result(self) -> np.ndarray:
+        return np.array(self.values, dtype=np.float64)
+
+
+#: Column order of the engine row tuple (see repro.stream.engine.Row).
+_R_EVENT, _R_CPU, _R_PID, _R_START, _R_END = 0, 1, 2, 3, 4
+_R_TOTAL, _R_SELF, _R_DEPTH, _R_ARG = 5, 6, 7, 8
+_R_CAT, _R_NOISE, _R_TRUNC, _R_DISP, _R_KIND, _R_SEQ = 9, 10, 11, 12, 13, 14
+
+
+def _canonical_key(row: tuple) -> Tuple[int, int, int, int, int]:
+    """The batch table's total row order: merge lexsort key plus the
+    kernel-before-preemption, emission-order tie break."""
+    return (
+        row[_R_START], row[_R_CPU], row[_R_DEPTH], row[_R_KIND], row[_R_SEQ]
+    )
+
+
+class WindowMerger:
+    """Accumulate engine rows into batch-exact aggregates and chunks."""
+
+    def __init__(
+        self,
+        ncpus: int,
+        start_ts: int,
+        meta: TraceMeta,
+        window_ns: Optional[int] = None,
+        quanta: Tuple[int, ...] = (),
+        end_ts: Optional[int] = None,
+        on_chunk: Optional[Callable[[int, ActivityTable], None]] = None,
+    ) -> None:
+        if window_ns is not None and window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        self.ncpus = ncpus
+        self.start_ts = start_ts
+        self.meta = meta
+        self.window_ns = window_ns
+        self.on_chunk = on_chunk
+        self.rows = 0
+        self.windows_emitted = 0
+        self.out_of_range = 0
+        self.total_noise_ns = 0
+
+        # (event, pid-or--1) -> exact moments; truncated rows excluded.
+        self._all: Dict[Tuple[int, int], Moments] = {}
+        self._noise: Dict[Tuple[int, int], Moments] = {}
+        # Noise totals over the batch mask (is_noise & cpu < ncpus).
+        self._cat_totals: Dict[int, int] = {}
+        self._per_cpu = [0] * ncpus
+        self._per_cpu_cat: Dict[Tuple[int, int], int] = {}
+        self._seen_codes: Set[int] = set()
+
+        self._binners: Dict[int, _TimelineBinner] = {
+            int(q): _TimelineBinner(int(q), start_ts, end_ts)
+            for q in quanta
+        }
+        self._chunk_rows: List[tuple] = []
+        self._boundary = start_ts  # rows with start < this are chunked
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def add(self, row: tuple) -> None:
+        """Fold one finalized engine row into every aggregate."""
+        self.rows += 1
+        event = row[_R_EVENT]
+        cpu = row[_R_CPU]
+        self_ns = row[_R_SELF]
+        noise = row[_R_NOISE]
+
+        if not row[_R_TRUNC]:
+            pid_key = (
+                row[_R_PID]
+                if event == PREEMPT_EVENT or event == TRACER_PREEMPT_EVENT
+                else -1
+            )
+            key = (event, pid_key)
+            acc = self._all.get(key)
+            if acc is None:
+                acc = self._all[key] = Moments()
+            acc.add(self_ns)
+            if noise:
+                acc = self._noise.get(key)
+                if acc is None:
+                    acc = self._noise[key] = Moments()
+                acc.add(self_ns)
+
+        if cpu >= self.ncpus:
+            self.out_of_range += 1
+        elif noise:
+            cat = row[_R_CAT]
+            self.total_noise_ns += self_ns
+            self._cat_totals[cat] = self._cat_totals.get(cat, 0) + self_ns
+            self._per_cpu[cpu] += self_ns
+            pair = (cpu, cat)
+            self._per_cpu_cat[pair] = (
+                self._per_cpu_cat.get(pair, 0) + self_ns
+            )
+            self._seen_codes.add(cat)
+
+        if noise and self._binners:
+            # The timeline has no cpu/truncated mask: every noise row
+            # contributes, batch-identically.
+            key5 = _canonical_key(row)
+            for binner in self._binners.values():
+                binner.add(key5, row[_R_END], self_ns, row[_R_TOTAL])
+
+        if self.window_ns is not None:
+            self._chunk_rows.append(row)
+
+    # ------------------------------------------------------------------
+    def seal_to(self, floor: Optional[int]) -> None:
+        """Advance sealing to the engine's pending floor: emit every
+        window and timeline bin no in-flight activity can still touch."""
+        if floor is None:
+            return
+        for binner in self._binners.values():
+            binner.seal_to(floor)
+        if self.window_ns is not None:
+            while self._boundary + self.window_ns <= floor:
+                self._emit_chunk()
+
+    def finish(self, end_ts: int) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        for binner in self._binners.values():
+            binner.finish(end_ts)
+        if self.window_ns is not None:
+            while self._chunk_rows:
+                self._emit_chunk()
+
+    # ------------------------------------------------------------------
+    def _emit_chunk(self) -> None:
+        b0 = self._boundary
+        b1 = b0 + self.window_ns
+        self._boundary = b1
+        take = [r for r in self._chunk_rows if r[_R_START] < b1]
+        if take:
+            keep = [r for r in self._chunk_rows if r[_R_START] >= b1]
+            self._chunk_rows = keep
+            take.sort(key=_canonical_key)
+        index = (b0 - self.start_ts) // self.window_ns
+        self.windows_emitted += 1
+        if obs.enabled():
+            obs.counter("stream.windows").inc()
+            obs.counter("stream.window_rows").inc(len(take))
+        if self.on_chunk is not None:
+            self.on_chunk(index, self.table_from_rows(take))
+
+    def table_from_rows(self, rows: List[tuple]) -> ActivityTable:
+        """Materialize engine rows (already in canonical order) as a
+        batch-layout :class:`ActivityTable`."""
+        return ActivityTable.from_columns(
+            len(rows),
+            meta=self.meta,
+            event=[r[_R_EVENT] for r in rows],
+            cpu=[r[_R_CPU] for r in rows],
+            pid=[r[_R_PID] for r in rows],
+            start=[r[_R_START] for r in rows],
+            end=[r[_R_END] for r in rows],
+            total_ns=[r[_R_TOTAL] for r in rows],
+            self_ns=[r[_R_SELF] for r in rows],
+            depth=[r[_R_DEPTH] for r in rows],
+            arg=[r[_R_ARG] for r in rows],
+            category=[r[_R_CAT] for r in rows],
+            is_noise=[r[_R_NOISE] for r in rows],
+            truncated=[r[_R_TRUNC] for r in rows],
+            displaced_pid=[r[_R_DISP] for r in rows],
+        )
+
+    # ------------------------------------------------------------------
+    # Batch-exact query backends (the facade wraps these)
+    # ------------------------------------------------------------------
+    def moments_for_event(self, event: int, noise_only: bool) -> Moments:
+        table = self._noise if noise_only else self._all
+        merged = Moments()
+        for (ev, _), acc in table.items():
+            if ev == event:
+                merged.merge(acc)
+        return merged
+
+    def moments_by_name(self, noise_only: bool) -> Dict[str, Moments]:
+        """Population moments grouped by display name, sorted by name —
+        the grouping :meth:`NoiseAnalysis.stats_by_event` applies (both
+        preemption pseudo-events share one ``preempt:<daemon>`` name)."""
+        from repro.tracing.events import event_name
+
+        table = self._noise if noise_only else self._all
+        out: Dict[str, Moments] = {}
+        for (ev, pid), acc in table.items():
+            if ev == PREEMPT_EVENT or ev == TRACER_PREEMPT_EVENT:
+                name = f"preempt:{self.meta.name_of(pid)}"
+            else:
+                name = event_name(ev)
+            merged = out.get(name)
+            if merged is None:
+                out[name] = merged = Moments()
+            merged.merge(acc)
+        return {name: out[name] for name in sorted(out)}
+
+    def breakdown_ns(self) -> Dict[NoiseCategory, int]:
+        totals: Dict[NoiseCategory, int] = {
+            c: self._cat_totals.get(CATEGORY_CODE[c], 0)
+            for c in BREAKDOWN_CATEGORIES
+        }
+        for code in sorted(self._seen_codes):
+            totals[CATEGORY_ORDER[code]] = self._cat_totals.get(code, 0)
+        return totals
+
+    def per_cpu_noise_ns(self) -> np.ndarray:
+        return np.array(self._per_cpu, dtype=np.int64)
+
+    def per_cpu_breakdown(self) -> Dict[int, Dict[NoiseCategory, int]]:
+        out: Dict[int, Dict[NoiseCategory, int]] = {
+            cpu: {c: 0 for c in BREAKDOWN_CATEGORIES}
+            for cpu in range(self.ncpus)
+        }
+        for cpu, code in sorted(self._per_cpu_cat):
+            out[cpu][CATEGORY_ORDER[code]] = self._per_cpu_cat[(cpu, code)]
+        return out
+
+    def timeline(self, quantum_ns: int) -> np.ndarray:
+        binner = self._binners.get(int(quantum_ns))
+        if binner is None:
+            raise ValueError(
+                f"quantum {quantum_ns} was not configured for streaming; "
+                f"available: {sorted(self._binners)}"
+            )
+        return binner.result()

@@ -27,7 +27,7 @@ import io
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import BinaryIO, List, Union
+from typing import BinaryIO, Iterator, List, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +48,26 @@ _PACKET_HEADER = struct.Struct("<IHHIIIQQ")
 
 class TraceFormatError(ValueError):
     """Raised on malformed trace bytes."""
+
+
+def _read_exact(fp: BinaryIO, n: int) -> bytes:
+    """Read exactly ``n`` bytes, looping over short reads.
+
+    ``fp.read(n)`` is allowed to return fewer bytes than requested for any
+    non-regular stream (pipes, sockets, interactive readers); trusting a
+    single call silently mis-decodes a slow stream.  Only end of stream
+    ends the loop early — the caller decides whether a short result means
+    clean EOF or truncation.
+    """
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = fp.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
 
 
 @dataclass
@@ -97,6 +117,49 @@ class Trace:
             obs.counter("decode.records").inc(len(out))
             obs.counter("decode.packets").inc(len(self.packets))
         return out
+
+    def records_with_gaps(self) -> Tuple[np.ndarray, List[Tuple[int, int, int]]]:
+        """Merged records plus lost-event gap markers.
+
+        Returns ``(records, gaps)`` where ``records`` is exactly what
+        :meth:`records` returns and each gap is ``(cpu, gap_ts, pos)``:
+        a packet with ``lost_before > 0`` marks events lost *before* it,
+        so the analysis must resynchronize at the packet's ``begin_ts``
+        (``gap_ts``) — the first timestamp known good after the loss.
+        ``pos`` anchors the gap positionally in the merged array: the gap
+        happens before the record at index ``pos`` (for an empty packet,
+        before that CPU's next record in a later packet, or at
+        ``len(records)`` when no record follows).  Positional anchoring
+        avoids any ambiguity between records sharing a timestamp.
+        """
+        if not self.packets:
+            return np.empty(0, dtype=RECORD_DTYPE), []
+        with obs.span("trace-decode"):
+            parts = [p.records() for p in self.packets]
+            merged = np.concatenate(parts)
+            order = np.argsort(merged["time"], kind="stable")
+        if obs.enabled():
+            obs.counter("decode.records").inc(len(merged))
+            obs.counter("decode.packets").inc(len(self.packets))
+        pos_of_orig = np.empty(len(merged), dtype=np.int64)
+        pos_of_orig[order] = np.arange(len(merged))
+        offsets = np.concatenate(
+            ([0], np.cumsum([len(x) for x in parts])[:-1])
+        )
+        gaps: List[Tuple[int, int, int]] = []
+        for i, p in enumerate(self.packets):
+            if p.lost_before <= 0:
+                continue
+            # Anchor at this packet's first record; an empty packet (e.g.
+            # the flush tail sub-buffer) anchors at the CPU's next record.
+            anchor = len(merged)
+            for j in range(i, len(self.packets)):
+                if self.packets[j].cpu == p.cpu and len(parts[j]):
+                    anchor = int(pos_of_orig[offsets[j]])
+                    break
+            gaps.append((p.cpu, p.begin_ts, anchor))
+        gaps.sort(key=lambda g: g[2])
+        return merged[order], gaps
 
     def cpu_records(self, cpu: int) -> np.ndarray:
         """One CPU's records in timestamp order."""
@@ -163,56 +226,88 @@ class Trace:
 
     @staticmethod
     def read(fp: BinaryIO) -> "Trace":
-        header = fp.read(_TRACE_HEADER.size)
-        if len(header) < _TRACE_HEADER.size:
-            raise TraceFormatError("truncated trace header")
-        magic, version, ncpus, start_ts, end_ts, _ = _TRACE_HEADER.unpack(header)
-        if magic != TRACE_MAGIC:
-            raise TraceFormatError(f"bad trace magic: {magic:#x}")
-        if version != VERSION:
-            raise TraceFormatError(f"unsupported trace version: {version}")
-        trace = Trace(ncpus=ncpus, start_ts=start_ts, end_ts=end_ts)
-        while True:
-            phead = fp.read(_PACKET_HEADER.size)
-            if not phead:
-                break
-            if len(phead) < _PACKET_HEADER.size:
-                raise TraceFormatError("truncated packet header")
-            (
-                pmagic,
-                cpu,
-                flags,
-                n_records,
-                lost,
-                payload_bytes,
-                begin_ts,
-                pend_ts,
-            ) = _PACKET_HEADER.unpack(phead)
-            if pmagic != PACKET_MAGIC:
-                raise TraceFormatError(f"bad packet magic: {pmagic:#x}")
-            payload = fp.read(payload_bytes)
-            if len(payload) < payload_bytes:
-                raise TraceFormatError("truncated packet payload")
-            if flags & FLAG_COMPRESSED:
-                try:
-                    payload = zlib.decompress(payload)
-                except zlib.error as exc:
-                    raise TraceFormatError(f"corrupt compressed packet: {exc}")
-            if len(payload) != n_records * RECORD_SIZE:
-                raise TraceFormatError(
-                    f"packet payload size mismatch on cpu {cpu}"
-                )
-            trace.packets.append(
-                Packet(
-                    cpu=cpu,
-                    n_records=n_records,
-                    lost_before=lost,
-                    begin_ts=begin_ts,
-                    end_ts=pend_ts,
-                    payload=payload,
-                )
-            )
+        trace = read_trace_header(fp)
+        trace.packets.extend(iter_packets(fp))
         return trace
+
+
+def read_trace_header(fp: BinaryIO) -> Trace:
+    """Decode the trace header, returning an empty :class:`Trace` shell.
+
+    The shell carries ``ncpus``/``start_ts``/``end_ts``; the caller decides
+    whether to slurp packets into it (:meth:`Trace.read`) or to stream them
+    one at a time with :func:`iter_packets`.
+    """
+    header = _read_exact(fp, _TRACE_HEADER.size)
+    if len(header) < _TRACE_HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version, ncpus, start_ts, end_ts, _ = _TRACE_HEADER.unpack(header)
+    if magic != TRACE_MAGIC:
+        raise TraceFormatError(f"bad trace magic: {magic:#x}")
+    if version != VERSION:
+        raise TraceFormatError(f"unsupported trace version: {version}")
+    return Trace(ncpus=ncpus, start_ts=start_ts, end_ts=end_ts)
+
+
+def iter_packets(fp: BinaryIO) -> Iterator[Packet]:
+    """Yield packets one at a time from a stream positioned after the
+    trace header.
+
+    Packet-granular and short-read tolerant: every read loops until the
+    requested byte count arrives, so slow pipes decode identically to
+    files, and a stream cut mid-packet raises :class:`TraceFormatError`
+    naming the packet index instead of silently mis-decoding.
+    """
+    index = 0
+    while True:
+        phead = _read_exact(fp, _PACKET_HEADER.size)
+        if not phead:
+            return
+        if len(phead) < _PACKET_HEADER.size:
+            raise TraceFormatError(
+                f"truncated packet header (packet #{index}: "
+                f"{len(phead)} of {_PACKET_HEADER.size} bytes)"
+            )
+        (
+            pmagic,
+            cpu,
+            flags,
+            n_records,
+            lost,
+            payload_bytes,
+            begin_ts,
+            pend_ts,
+        ) = _PACKET_HEADER.unpack(phead)
+        if pmagic != PACKET_MAGIC:
+            raise TraceFormatError(
+                f"bad packet magic: {pmagic:#x} (packet #{index})"
+            )
+        payload = _read_exact(fp, payload_bytes)
+        if len(payload) < payload_bytes:
+            raise TraceFormatError(
+                f"truncated packet payload (packet #{index}, cpu {cpu}: "
+                f"{len(payload)} of {payload_bytes} bytes)"
+            )
+        if flags & FLAG_COMPRESSED:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise TraceFormatError(
+                    f"corrupt compressed packet (packet #{index}): {exc}"
+                )
+        if len(payload) != n_records * RECORD_SIZE:
+            raise TraceFormatError(
+                f"packet payload size mismatch on cpu {cpu} (packet #{index})"
+            )
+        yield Packet(
+            cpu=cpu,
+            n_records=n_records,
+            lost_before=lost,
+            begin_ts=begin_ts,
+            end_ts=pend_ts,
+            payload=payload,
+        )
+        index += 1
 
 
 def packet_from_subbuffer(cpu: int, sb: SubBuffer) -> Packet:

@@ -16,7 +16,7 @@ paper's Section III-A:
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro import obs
 from repro.simkernel.distributions import DurationModel, from_stats
@@ -47,12 +47,18 @@ class Tracer(TraceSink):
         flush_period_ns: int = 100 * MSEC,
         daemon_service: Optional[DurationModel] = None,
         enabled_events: Optional["object"] = None,
+        packet_sink: Optional[Callable[[Packet], None]] = None,
     ) -> None:
         """``enabled_events``: iterable of event ids / names restricting
         what gets recorded (LTTng's enable-event).  None records all.
         Disabled tracepoints cost nothing and write nothing — but beware:
         analysis passes need their inputs (e.g. preemption reconstruction
-        needs sched_switch and task_state)."""
+        needs sched_switch and task_state).
+
+        ``packet_sink``: called with each packet as its sub-buffer is
+        drained, instead of retaining it — streaming collection, e.g.
+        :meth:`repro.stream.StreamingAnalysis.feed_packet`.  With a sink,
+        :meth:`finish` returns a trace shell without packets."""
         if record_overhead_ns < 0:
             raise ValueError("record overhead must be non-negative")
         self.node = node
@@ -78,6 +84,8 @@ class Tracer(TraceSink):
             for cpu in node.cpus
         ]
         self._packets: List[Packet] = []
+        self._packet_sink = packet_sink
+        self.packets_streamed = 0
         self.drains = 0
         self.subbufs_consumed = 0
         self._start_ts: Optional[int] = None
@@ -126,12 +134,19 @@ class Tracer(TraceSink):
             taken = rb.consume()
             self.subbufs_consumed += len(taken)
             for sb in taken:
-                self._packets.append(packet_from_subbuffer(rb.cpu, sb))
+                self._emit_packet(packet_from_subbuffer(rb.cpu, sb))
         if obs.enabled():
             for rb in self.buffers:
                 obs.gauge("tracing.ring_occupancy", cpu=rb.cpu).set(
                     rb.occupancy()
                 )
+
+    def _emit_packet(self, packet: Packet) -> None:
+        if self._packet_sink is not None:
+            self.packets_streamed += 1
+            self._packet_sink(packet)
+        else:
+            self._packets.append(packet)
 
     # ------------------------------------------------------------------
     # TraceSink interface
@@ -159,7 +174,7 @@ class Tracer(TraceSink):
             flushed = rb.flush()
             self.subbufs_consumed += len(flushed)
             for sb in flushed:
-                self._packets.append(packet_from_subbuffer(rb.cpu, sb))
+                self._emit_packet(packet_from_subbuffer(rb.cpu, sb))
         if obs.enabled():
             self._report_counters()
         trace = Trace(

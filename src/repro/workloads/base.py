@@ -84,6 +84,58 @@ class Workload:
         node.run(duration_ns)
         return node, tracer.finish()
 
+    def run_streaming(
+        self,
+        duration_ns: int,
+        seed: int = 0,
+        ncpus: int = 8,
+        record_overhead_ns: Optional[int] = None,
+        **stream_kwargs: object,
+    ):
+        """Build, install, and run with the analysis riding the collection
+        daemon: every packet is analyzed as its sub-buffer is drained and
+        no full trace is ever assembled; returns ``(node, analysis)`` with
+        the analysis finished.  ``stream_kwargs`` (``window_ns``,
+        ``quanta``, ``on_chunk``, ...) go to
+        :class:`~repro.stream.analysis.StreamingAnalysis`.
+
+        The trace metadata snapshot is taken after install, so workloads
+        whose task set is static over the run (all built-in ones) get
+        results identical to analyzing the assembled trace.
+        """
+        from repro.core.model import TraceMeta
+        from repro.stream import StreamingAnalysis
+        from repro.tracing.tracer import Tracer
+
+        node = self.build_node(seed=seed, ncpus=ncpus)
+        # Packets drained before the analysis exists (it needs the
+        # installed task set for its metadata) are backlogged.
+        backlog: List[object] = []
+        sink = backlog.append
+        kwargs = {}
+        if record_overhead_ns is not None:
+            kwargs["record_overhead_ns"] = record_overhead_ns
+        tracer = Tracer(
+            node, packet_sink=lambda packet: sink(packet), **kwargs
+        )
+        tracer.attach()
+        self.install(node)
+        analysis = StreamingAnalysis(
+            ncpus=node.config.ncpus,
+            start_ts=node.engine.now,
+            end_ts=None,  # live: the run decides when tracing ends
+            meta=TraceMeta.from_node(node),
+            **stream_kwargs,
+        )
+        for packet in backlog:
+            analysis.feed_packet(packet)
+        del backlog[:]
+        sink = analysis.feed_packet
+        node.run(duration_ns)
+        shell = tracer.finish()  # flushes ring-buffer tails into the sink
+        analysis.finish(shell.end_ts)
+        return node, analysis
+
     def run_untraced(self, duration_ns: int, seed: int = 0, ncpus: int = 8):
         """Run without any tracer attached (for overhead comparisons)."""
         node = self.build_node(seed=seed, ncpus=ncpus)

@@ -1,0 +1,10 @@
+# noiselint-fixture: repro/core/fixture_nsx001_dict.py
+"""Positive fixture: float values smuggled into ns-typed slots through a
+dict literal — the summary-row pattern that hid the timeline bug."""
+
+
+def bad(waits):
+    return {
+        "wait_episodes": int(waits.size),
+        "mean_wait_ns": float(waits.mean()),
+    }

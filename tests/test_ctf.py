@@ -206,3 +206,102 @@ def test_codec_roundtrip_property(records, compress):
     back = Trace.from_bytes(trace.to_bytes(compress=compress))
     a, b = trace.records(), back.records()
     assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Regression: short reads and truncation at every byte offset.
+# ----------------------------------------------------------------------
+
+class DribblingReader:
+    """A stream that returns at most one byte per read() call — the legal
+    worst case for pipes and sockets that a single fp.read(n) mis-handles."""
+
+    def __init__(self, data):
+        self._buf = io.BytesIO(data)
+
+    def read(self, n=-1):
+        return self._buf.read(min(1, n) if n >= 0 else 1)
+
+
+def _two_packet_trace():
+    return Trace(
+        ncpus=2,
+        start_ts=0,
+        end_ts=500,
+        packets=[
+            make_packet(cpu=0, records=((100, 1, 0, 0, 7, 0),
+                                        (200, 2, 0, 1, 7, 0))),
+            make_packet(cpu=1, records=((150, 1, 1, 0, 8, 0),)),
+        ],
+    )
+
+
+class TestShortReads:
+    def test_dribbling_stream_decodes_fully(self):
+        """Reading from a 1-byte-per-call stream must reconstruct the
+        trace byte-exactly, not silently mis-decode a short read."""
+        trace = _two_packet_trace()
+        back = Trace.read(DribblingReader(trace.to_bytes()))
+        assert len(back.packets) == 2
+        assert np.array_equal(back.records(), trace.records())
+
+    def test_dribbling_compressed_stream(self):
+        trace = _two_packet_trace()
+        back = Trace.read(DribblingReader(trace.to_bytes(compress=True)))
+        assert np.array_equal(back.records(), trace.records())
+
+    def test_every_truncation_offset_is_detected(self):
+        """A trace cut at ANY byte offset either raises TraceFormatError
+        or — only when the cut lands exactly on a packet boundary — parses
+        as a valid prefix of the original; no offset decodes garbage."""
+        trace = _two_packet_trace()
+        data = trace.to_bytes()
+        boundary_offsets = set()
+        for cut in range(len(data)):
+            try:
+                back = Trace.from_bytes(data[:cut])
+            except TraceFormatError:
+                continue
+            boundary_offsets.add(cut)
+            # A successful parse must be an exact packet-list prefix.
+            assert len(back.packets) <= len(trace.packets)
+            for got, want in zip(back.packets, trace.packets):
+                assert got == want
+        # Exactly header-end and first-packet-end parse; everything else
+        # (including every mid-header and mid-payload offset) raises.
+        assert len(boundary_offsets) == 2
+
+    def test_truncation_offsets_match_streaming_decoder(self):
+        """The incremental decoder accepts/rejects the same prefixes as
+        the batch reader, fed one byte at a time."""
+        from repro.stream import StreamDecoder
+
+        trace = _two_packet_trace()
+        data = trace.to_bytes()
+        for cut in (10, 32, 40, len(data) - 4, len(data)):
+            try:
+                batch_packets = Trace.from_bytes(data[:cut]).packets
+                batch_error = None
+            except TraceFormatError as exc:
+                batch_packets, batch_error = None, str(exc)
+            decoder = StreamDecoder()
+            streamed = []
+            for i in range(cut):
+                streamed.extend(decoder.feed(data[i:i + 1]))
+            try:
+                decoder.finish()
+                stream_error = None
+            except TraceFormatError as exc:
+                stream_error = str(exc)
+            if batch_error is None:
+                assert stream_error is None
+                assert streamed == batch_packets
+            else:
+                # The wording differs (the incremental decoder cannot name
+                # header vs payload), but both must flag truncation at the
+                # same packet.
+                assert stream_error is not None
+                assert "truncated" in stream_error
+                if "#" in batch_error:
+                    packet_index = batch_error.split("#")[1][0]
+                    assert f"packet #{packet_index}" in stream_error

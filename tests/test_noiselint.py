@@ -53,6 +53,7 @@ def rules_hit(result):
         ("det002_bad.py", "DET002", 9),
         ("det003_bad.py", "DET003", 7),
         ("nsx001_bad.py", "NSX001", 6),
+        ("nsx001_dict_bad.py", "NSX001", 9),
         ("nsx002_bad.py", "NSX002", 8),
         ("hot001_bad.py", "HOT001", 7),
         ("hot002_bad.py", "HOT002", 10),
