@@ -6,6 +6,7 @@ the analyzer chews records.  These run with multiple rounds (they are the
 only benches here where pytest-benchmark's statistics mean something).
 """
 
+import os
 import time
 
 import numpy as np
@@ -265,3 +266,66 @@ def test_streaming_memory_bounded():
     assert long_peak < batch_peak
     # Same numbers, of course.
     assert long_sa.total_noise_ns() == batch_total
+
+
+# ----------------------------------------------------------------------
+# Sweep orchestration: the planner/backend/store layers must scale with
+# workers and reuse completed work across reruns.
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="worker scaling needs >= 4 cores")
+def test_local_pool_worker_scaling():
+    """The dispatch layer's contract: fanning a sweep from 1 to 4 pool
+    workers must cut wall time near-linearly (>= 2x at 4 workers, i.e.
+    >= 50 % parallel efficiency after pool startup overhead)."""
+    from repro.exec import LocalPoolBackend, ParallelRunner, RunSpec
+
+    specs = [RunSpec.make("AMG", 1000 * MSEC, s, 4) for s in range(8)]
+
+    def timed(workers):
+        runner = ParallelRunner(backend=LocalPoolBackend(workers))
+        t0 = time.perf_counter()
+        runner.run(specs)
+        return time.perf_counter() - t0
+
+    timed(1)  # warm-up: imports on both sides of the fork
+    one_worker_s = timed(1)
+    four_worker_s = timed(4)
+    speedup = one_worker_s / four_worker_s
+    print(f"\nworker scaling: 1 worker {one_worker_s:.2f} s, "
+          f"4 workers {four_worker_s:.2f} s -> {speedup:.2f}x "
+          f"({100 * speedup / 4:.0f} % efficiency)")
+    assert speedup >= 2.0, (
+        f"4 pool workers only {speedup:.2f}x faster than 1"
+    )
+
+
+def test_plan_rerun_cache_reuse(tmp_path):
+    """The store+planner contract CI gates on: re-running a completed
+    planned sweep must serve >90 % of it from the sharded store (here:
+    all of it) with bit-identical traces."""
+    from repro.exec import ParallelRunner, ResultCache, RunSpec, SweepPlan
+
+    specs = [RunSpec.make("FTQ", 60 * MSEC, s, 2) for s in range(8)]
+    plan = SweepPlan(specs, shards=4, plan_dir=str(tmp_path / "plan"))
+    plan.save()
+
+    def run_once():
+        runner = ParallelRunner(
+            parallel=False, cache=ResultCache(str(tmp_path / "store"))
+        )
+        return plan.execute(runner), dict(plan.last_stats)
+
+    cold, cold_stats = run_once()
+    assert cold_stats["simulated"] == len(specs)
+    warm, warm_stats = run_once()
+    reuse = warm_stats["cached"] / warm_stats["runs"]
+    print(f"\nplan rerun: {warm_stats['cached']:.0f}/"
+          f"{warm_stats['runs']:.0f} served from the store "
+          f"({100 * reuse:.0f} % reuse)")
+    assert reuse > 0.9, f"rerun reuse ratio {reuse:.2f} <= 0.9"
+    for a, b in zip(cold, warm):
+        assert a.spec == b.spec
+        assert a.trace.to_bytes() == b.trace.to_bytes()

@@ -400,9 +400,76 @@ def _parse_seeds(text: str) -> List[int]:
     return list(range(int(text)))
 
 
+def _auto_shards(n_specs: int) -> int:
+    """Default planner shard count: ~256 specs per shard, capped at 64."""
+    return max(1, min(64, (n_specs + 255) // 256))
+
+
+def _prepare_plan(args, specs) -> "tuple[Optional[object], Optional[str]]":
+    """Create or load the sweep plan for ``--plan DIR``.
+
+    Returns ``(plan, error)``; ``error`` is a user-facing message when the
+    plan directory and the requested sweep disagree.
+    """
+    import repro
+    from repro.exec import SweepPlan
+
+    if SweepPlan.exists(args.plan):
+        plan = SweepPlan.load(args.plan)
+        if plan.version != repro.__version__:
+            return None, (
+                f"plan {args.plan} was written by version {plan.version}; "
+                f"this is {repro.__version__} — re-plan in a fresh directory"
+            )
+        if not plan.matches(specs):
+            return None, (
+                f"plan {args.plan} covers a different spec set; "
+                f"re-plan in a fresh directory or fix the arguments"
+            )
+        states = plan.journal().replay()
+        if states and not args.resume:
+            counts = plan.journal().counts()
+            return None, (
+                f"plan {args.plan} already has progress "
+                f"({counts['done']} done); pass --resume to continue it"
+            )
+        return plan, None
+    if args.resume:
+        return None, f"--resume: no plan found in {args.plan}"
+    shards = args.shards or _auto_shards(len(specs))
+    plan = SweepPlan(specs, shards=shards, plan_dir=args.plan)
+    plan.save()
+    return plan, None
+
+
+def _write_sweep_summary(path, name, duration, seeds, args, sweep,
+                         plan) -> None:
+    """``--summary-json``: the machine-readable execution summary."""
+    import json as json_mod
+
+    summary = {
+        "workload": name,
+        "duration_ns": duration,
+        "seeds": len(seeds),
+        "ncpus": args.ncpus,
+    }
+    summary.update(sweep.exec_stats or {})
+    if plan is not None:
+        summary["plan"] = {
+            "dir": args.plan,
+            "shards": plan.nshards,
+            "journal": plan.journal().counts(),
+            "issues": plan.verify_journal(),
+        }
+    with open(path, "w", encoding="utf-8") as fp:
+        json_mod.dump(summary, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"summary: {path}", file=sys.stderr)
+
+
 def cmd_sweep(args) -> int:
     from repro.core.sweep import SeedSweep
-    from repro.exec import ResultCache
+    from repro.exec import ResultCache, RunSpec
 
     name = args.workload.upper()
     if name != "FTQ" and name not in SEQUOIA_PROFILES:
@@ -423,9 +490,19 @@ def cmd_sweep(args) -> int:
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.resume and not args.plan:
+        print("--resume needs --plan DIR", file=sys.stderr)
+        return 2
+    if args.max_cache_bytes is not None and args.max_cache_bytes < 1:
+        print("--max-cache-bytes must be positive", file=sys.stderr)
+        return 2
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir)
+        cache = ResultCache(args.cache_dir, max_bytes=args.max_cache_bytes)
+    elif args.plan:
+        print("--plan needs the result store; drop --no-cache",
+              file=sys.stderr)
+        return 2
     if args.clear_cache:
         if cache is None:
             print("--clear-cache needs the cache enabled", file=sys.stderr)
@@ -434,21 +511,45 @@ def cmd_sweep(args) -> int:
         print(f"cleared {removed} cached runs from {cache.root}",
               file=sys.stderr)
 
+    plan = None
+    if args.plan:
+        specs = [
+            RunSpec.make(name, duration, int(seed), args.ncpus)
+            for seed in seeds
+        ]
+        plan, error = _prepare_plan(args, specs)
+        if plan is None:
+            print(error, file=sys.stderr)
+            return 2
+        print(plan.describe(), file=sys.stderr)
+
     def progress(done, total, spec, cached, elapsed) -> None:
         how = "cache" if cached else f"{elapsed:.2f}s"
         print(f"[{done}/{total}] {spec.workload} seed {spec.seed}: {how}",
               file=sys.stderr)
 
-    sweep = SeedSweep.run(
-        name,
-        duration,
-        seeds,
-        ncpus=args.ncpus,
-        parallel=not args.serial,
-        max_workers=args.workers,
-        cache=cache,
-        progress=progress,
-    )
+    try:
+        sweep = SeedSweep.run(
+            name,
+            duration,
+            seeds,
+            ncpus=args.ncpus,
+            parallel=not args.serial,
+            max_workers=args.workers,
+            cache=cache,
+            progress=progress,
+            plan=plan,
+        )
+    except KeyboardInterrupt:
+        if plan is not None:
+            counts = plan.journal().counts()
+            print(f"\ninterrupted: {counts['done']} done, "
+                  f"{counts['running']} in flight — resume with the same "
+                  f"arguments plus --resume", file=sys.stderr)
+        else:
+            print("\ninterrupted (no --plan: progress beyond the result "
+                  "cache is lost)", file=sys.stderr)
+        return 130
     if sweep.exec_summary:
         print(sweep.exec_summary, file=sys.stderr)
     events = [e for e in (args.events or "").split(",") if e.strip()]
@@ -457,6 +558,9 @@ def cmd_sweep(args) -> int:
     print(sweep.summary_table(events))
     if cache is not None:
         print(cache.describe(), file=sys.stderr)
+    if args.summary_json:
+        _write_sweep_summary(args.summary_json, name, duration, seeds, args,
+                             sweep, plan)
     return 0
 
 
@@ -747,6 +851,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="always re-simulate; write nothing to disk")
     p.add_argument("--clear-cache", action="store_true",
                    help="empty the cache before running")
+    p.add_argument("--max-cache-bytes", type=int, metavar="BYTES",
+                   help="result-store size budget; least-recently-used "
+                        "entries are evicted past it")
+    p.add_argument("--plan", metavar="DIR",
+                   help="persist a sharded, journaled sweep plan under DIR "
+                        "so the sweep survives interruption "
+                        "(docs/sweep-orchestration.md)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue the plan in --plan DIR; completed runs "
+                        "are served from the result store")
+    p.add_argument("--shards", type=int, metavar="N",
+                   help="planner shard count (default: ~256 specs/shard)")
+    p.add_argument("--summary-json", metavar="PATH",
+                   help="write a machine-readable execution summary "
+                        "(runs, cache hits/misses, failures, wall seconds) "
+                        "for CI consumption")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(

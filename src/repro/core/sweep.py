@@ -69,6 +69,9 @@ class SeedSweep:
     #: One-line execution report (runs, cache hits, wall time) set by
     #: :meth:`run` when the parallel-runner path was used; None otherwise.
     exec_summary: Optional[str] = None
+    #: Machine-readable version of :attr:`exec_summary` (``--summary-json``);
+    #: None when the legacy in-process path ran.
+    exec_stats: Optional[dict] = None
 
     def __init__(self, analyses: List[NoiseAnalysis]) -> None:
         if not analyses:
@@ -86,6 +89,8 @@ class SeedSweep:
         max_workers: Optional[int] = None,
         cache: Optional["object"] = None,
         progress: Optional[Callable] = None,
+        backend: Optional["object"] = None,
+        plan: Optional["object"] = None,
     ) -> "SeedSweep":
         """Run the workload once per seed and collect the analyses.
 
@@ -97,6 +102,12 @@ class SeedSweep:
         ``cache`` (a :class:`repro.exec.ResultCache`) lets repeat sweeps
         skip simulation entirely.
 
+        ``backend`` (a :class:`repro.exec.DispatchBackend`) overrides how
+        specs execute; ``plan`` (a :class:`repro.exec.SweepPlan`) routes
+        execution through the sharded, journaled planner so the sweep can
+        be interrupted and resumed — see ``docs/sweep-orchestration.md``.
+        Both paths produce bit-identical analyses.
+
         Factories that are not importable by name (lambdas, closures,
         bound instances) cannot cross a process boundary; those fall back
         to in-process execution with a warning.
@@ -106,7 +117,7 @@ class SeedSweep:
         name: Optional[str] = None
         if isinstance(workload_factory, str):
             name = workload_factory
-        elif parallel or cache is not None:
+        elif parallel or cache is not None or plan is not None:
             name = dotted_path_of(workload_factory)
             if name is None and parallel:
                 warnings.warn(
@@ -116,22 +127,54 @@ class SeedSweep:
                     RuntimeWarning,
                     stacklevel=2,
                 )
+        if name is None and plan is not None:
+            raise ValueError(
+                "a planned sweep needs a named workload (factories without "
+                "an importable path cannot be journaled)"
+            )
         if name is not None:
             specs = [
                 RunSpec.make(name, duration_ns, int(seed), ncpus)
                 for seed in seeds
             ]
             runner = ParallelRunner(
-                max_workers=max_workers, cache=cache, parallel=parallel
+                max_workers=max_workers, cache=cache, parallel=parallel,
+                backend=backend,
             )
             with obs.span("sweep", workload=name, runs=len(specs)):
-                results = runner.run(specs, progress=progress)
+                if plan is not None:
+                    if not plan.matches(specs):
+                        raise ValueError(
+                            "plan does not match this sweep's specs; "
+                            "re-plan or fix the arguments"
+                        )
+                    plan_results = plan.execute(runner, progress=progress)
+                    results = plan.results_for(specs, plan_results)
+                    stats = dict(plan.last_stats)
+                    stats["shards"] = plan.nshards
+                    stats["unique_specs"] = len(plan.specs)
+                    stats["duplicates"] = plan.duplicates
+                else:
+                    results = runner.run(specs, progress=progress)
+                    stats = runner.summary_dict()
                 sweep = SeedSweep([r.analysis() for r in results])
-            sweep.exec_summary = runner.summary()
+            how = (
+                f"{min(runner.max_workers, max(1, runner.last_simulated))} "
+                f"workers" if runner.used_processes else "serial"
+            )
+            sweep.exec_summary = (
+                f"{int(stats['runs'])} runs: {int(stats['cached'])} cached, "
+                f"{int(stats['simulated'])} simulated ({how}) "
+                f"in {stats['wall_s']:.2f}s wall"
+            )
+            stats["failures"] = 0
             if cache is not None:
                 sweep.exec_summary += (
                     f"; cache {cache.hits} hits, {cache.misses} misses"
                 )
+                stats["cache_hits"] = cache.hits
+                stats["cache_misses"] = cache.misses
+            sweep.exec_stats = stats
             return sweep
 
         analyses = []

@@ -1,21 +1,47 @@
-"""Parallel run-execution layer: specs, process fan-out, result cache.
+"""Run-execution layer: planner, dispatch backends, sharded result store.
 
 Independent seeded runs dominate the repo's wall time (sweeps, the Sequoia
-case study, scalability extrapolations).  This package makes them cheap:
+case study, scalability extrapolations).  This package makes them cheap
+and — at campaign scale — interruptible (see
+``docs/sweep-orchestration.md``):
 
 * :class:`RunSpec` — a hashable, serializable description of one run;
-* :class:`ParallelRunner` — fans specs across a process pool, falling back
-  to bit-identical in-process execution where pools are unavailable;
-* :class:`ResultCache` — on-disk (trace, meta) store keyed by a content
-  hash of the spec + package version, so repeat invocations skip
-  simulation entirely.
+* :class:`SweepPlan` / :class:`Journal` — expand thousands of specs into
+  deterministic content-hash-ordered shards with a JSON-lines journal of
+  per-spec state, so an interrupted campaign resumes without rework;
+* :class:`DispatchBackend` — where specs execute:
+  :class:`LocalPoolBackend` process fan-out, :class:`SerialBackend`
+  in-process, :class:`FlakyBackend` fault injection for tests; worker
+  death is retried with backoff;
+* :class:`ParallelRunner` — caching, dedup and input-order fan-in over a
+  backend, falling back to bit-identical serial execution;
+* :class:`ResultCache` / :class:`ShardedStore` — hash-prefix-sharded
+  on-disk (trace, meta) store keyed by a content hash of the spec +
+  package version, with size budgets and mtime-LRU eviction.
 """
 
-from repro.exec.cache import CACHE_ENV, ResultCache, default_cache_dir
+from repro.exec.backend import (
+    BackendFailure,
+    DispatchBackend,
+    FlakyBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    dispatch_with_retry,
+)
+from repro.exec.cache import (
+    CACHE_ENV,
+    ResultCache,
+    ShardedStore,
+    StoreEntry,
+    default_cache_dir,
+)
+from repro.exec.journal import Journal
+from repro.exec.plan import PlanShard, SweepPlan
 from repro.exec.runner import (
     ParallelRunner,
     RunResult,
     execute_spec_serialized,
+    execute_spec_streaming,
 )
 from repro.exec.spec import (
     RunSpec,
@@ -25,14 +51,26 @@ from repro.exec.spec import (
 )
 
 __all__ = [
+    "BackendFailure",
     "CACHE_ENV",
-    "ResultCache",
-    "default_cache_dir",
+    "DispatchBackend",
+    "FlakyBackend",
+    "Journal",
+    "LocalPoolBackend",
     "ParallelRunner",
+    "PlanShard",
+    "ResultCache",
     "RunResult",
-    "execute_spec_serialized",
     "RunSpec",
+    "SerialBackend",
+    "ShardedStore",
+    "StoreEntry",
+    "SweepPlan",
+    "default_cache_dir",
+    "dispatch_with_retry",
     "dotted_path_of",
+    "execute_spec_serialized",
+    "execute_spec_streaming",
     "register_workload",
     "resolve_factory",
 ]

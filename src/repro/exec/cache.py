@@ -1,151 +1,31 @@
-"""On-disk result cache keyed by RunSpec content hashes.
+"""Back-compat name for the on-disk result store.
 
-Each cached run is three files under the cache root, named by the spec's
-:meth:`~repro.exec.spec.RunSpec.cache_token`::
-
-    <token>.lttnz      the binary trace (compressed packets)
-    <token>.meta.json  the TraceMeta sidecar
-    <token>.spec.json  the spec itself, for debugging/inspection
-
-The token mixes in the package version, so upgrading the simulator
-invalidates every stale entry without any cleanup pass.  Writes go through
-a temp file + ``os.replace`` so a crashed run never leaves a half-written
-entry that a later invocation would trust.
+The flat per-file cache grew into the content-hash-prefix-sharded
+:class:`~repro.exec.store.ShardedStore` (size budgets, mtime-LRU
+eviction, durable atomic writes — see ``docs/sweep-orchestration.md``).
+``ResultCache`` remains the name the rest of the repo uses for "the
+default on-disk store": it *is* a ``ShardedStore``, and it still reads
+entries written by the old flat layout.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-from typing import Optional, Tuple, TYPE_CHECKING
-
-import repro
-from repro import obs
-from repro.exec.spec import RunSpec
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.model import TraceMeta
-    from repro.tracing.ctf import Trace
-
-#: Environment override for the default cache location.
-CACHE_ENV = "LTTNG_NOISE_CACHE"
+from repro.exec.store import (
+    CACHE_ENV,
+    ShardedStore,
+    StoreEntry,
+    default_cache_dir,
+)
 
 
-def default_cache_dir() -> str:
-    env = os.environ.get(CACHE_ENV)
-    if env:
-        return env
-    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache"
-    )
-    return os.path.join(base, "lttng-noise")
+class ResultCache(ShardedStore):
+    """Sharded on-disk (trace, meta) store addressed by spec hash."""
 
 
-class ResultCache:
-    """Directory of (trace, meta) results addressed by spec hash."""
-
-    def __init__(
-        self, root: Optional[str] = None, version: Optional[str] = None
-    ) -> None:
-        self.root = root or default_cache_dir()
-        self.version = version or repro.__version__
-        self.hits = 0
-        self.misses = 0
-
-    # ------------------------------------------------------------------
-    def token(self, spec: RunSpec) -> str:
-        return spec.cache_token(self.version)
-
-    def _paths(self, spec: RunSpec) -> Tuple[str, str, str]:
-        token = self.token(spec)
-        return (
-            os.path.join(self.root, token + ".lttnz"),
-            os.path.join(self.root, token + ".meta.json"),
-            os.path.join(self.root, token + ".spec.json"),
-        )
-
-    def contains(self, spec: RunSpec) -> bool:
-        trace_path, meta_path, _ = self._paths(spec)
-        return os.path.exists(trace_path) and os.path.exists(meta_path)
-
-    # ------------------------------------------------------------------
-    def get(self, spec: RunSpec) -> Optional[Tuple["Trace", "TraceMeta"]]:
-        """Cached ``(trace, meta)`` for the spec, or None on a miss.
-
-        A corrupt entry (truncated write, wrong format) counts as a miss
-        and is evicted, so the caller re-simulates instead of crashing.
-        """
-        from repro.core.model import TraceMeta
-        from repro.tracing.ctf import Trace, TraceFormatError
-
-        trace_path, meta_path, _ = self._paths(spec)
-        if not (os.path.exists(trace_path) and os.path.exists(meta_path)):
-            self._miss()
-            return None
-        try:
-            trace = Trace.from_file(trace_path)
-            meta = TraceMeta.from_file(meta_path)
-        except (TraceFormatError, OSError, ValueError, KeyError):
-            self.evict(spec)
-            self._miss()
-            return None
-        self.hits += 1
-        if obs.enabled():
-            obs.counter("cache.hit").inc()
-        return trace, meta
-
-    def _miss(self) -> None:
-        self.misses += 1
-        if obs.enabled():
-            obs.counter("cache.miss").inc()
-
-    def put(self, spec: RunSpec, trace: "Trace", meta: "TraceMeta") -> None:
-        if obs.enabled():
-            obs.counter("cache.put").inc()
-        os.makedirs(self.root, exist_ok=True)
-        trace_path, meta_path, spec_path = self._paths(spec)
-        self._write_atomic(trace_path, trace.to_bytes(compress=True))
-        self._write_atomic(meta_path, meta.to_json().encode("utf-8"))
-        sidecar = dict(spec.to_dict(), version=self.version)
-        self._write_atomic(
-            spec_path, json.dumps(sidecar, indent=2).encode("utf-8")
-        )
-
-    def _write_atomic(self, path: str, data: bytes) -> None:
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fp:
-                fp.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-
-    # ------------------------------------------------------------------
-    def evict(self, spec: RunSpec) -> None:
-        if obs.enabled():
-            obs.counter("cache.evict").inc()
-        for path in self._paths(spec):
-            if os.path.exists(path):
-                os.unlink(path)
-
-    def clear(self) -> int:
-        """Remove every cache entry; returns the number of runs removed."""
-        if not os.path.isdir(self.root):
-            return 0
-        removed = 0
-        for name in os.listdir(self.root):
-            path = os.path.join(self.root, name)
-            if name.endswith(".lttnz"):
-                removed += 1
-            if name.endswith((".lttnz", ".meta.json", ".spec.json", ".tmp")):
-                os.unlink(path)
-        return removed
-
-    def describe(self) -> str:
-        return (
-            f"cache {self.root}: {self.hits} hits, {self.misses} misses "
-            f"(version {self.version})"
-        )
+__all__ = [
+    "CACHE_ENV",
+    "ResultCache",
+    "ShardedStore",
+    "StoreEntry",
+    "default_cache_dir",
+]

@@ -1,0 +1,124 @@
+"""Append-only JSON-lines journal of per-spec sweep state.
+
+A long collection campaign must survive being killed at any instant:
+SIGINT, a dead worker, a full disk.  The journal is the planner's write-
+ahead record of what happened to every :class:`~repro.exec.spec.RunSpec`
+in a :class:`~repro.exec.plan.SweepPlan` — one JSON object per line, one
+line per state transition::
+
+    {"token": "ab12...", "state": "running", "shard": 3}
+    {"token": "ab12...", "state": "done", "elapsed_s": 0.41}
+
+States move ``pending -> running -> done | failed``; a resumed sweep
+replays the file and re-runs everything whose *last* state is not
+``done``.  Appends are flushed line-by-line, so a crash loses at most the
+line being written — and a half-written trailing line (torn write) is
+ignored on replay instead of poisoning the whole journal.  Tokens are the
+specs' content hashes, which makes journal entries stable across process
+restarts and host reboots by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, Iterator, Optional, Tuple
+
+from repro import obs
+
+#: The journal's state vocabulary, in lifecycle order.
+STATES = ("pending", "running", "done", "failed")
+
+
+class Journal:
+    """JSON-lines per-spec state journal, append-only and replayable."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fp: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _file(self) -> IO[str]:
+        if self._fp is None or self._fp.closed:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fp = open(self.path, "a", encoding="utf-8")
+        return self._fp
+
+    def record(self, token: str, state: str, **extra: Any) -> None:
+        """Append one transition; flushed so a crash cannot unwrite it."""
+        if state not in STATES:
+            raise ValueError(f"unknown journal state {state!r}; use {STATES}")
+        entry: Dict[str, Any] = {"token": token, "state": state}
+        entry.update(extra)
+        fp = self._file()
+        fp.write(json.dumps(entry, sort_keys=True) + "\n")
+        fp.flush()
+        if obs.enabled():
+            obs.counter("plan.journal_writes", state=state).inc()
+
+    def close(self) -> None:
+        if self._fp is not None and not self._fp.closed:
+            self._fp.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _lines(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Yield ``(lineno, entry)`` for every parseable line.
+
+        A corrupt *last* line is the signature of a torn write mid-crash
+        and is skipped silently; a corrupt line in the middle means the
+        file was edited or mixed and raises.
+        """
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fp:
+            raw = fp.read().split("\n")
+        last_content = len(raw) - 1
+        while last_content >= 0 and not raw[last_content].strip():
+            last_content -= 1
+        for lineno, line in enumerate(raw[: last_content + 1], start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as exc:
+                if lineno == last_content + 1:
+                    continue  # torn final write: lose one transition, not all
+                raise ValueError(
+                    f"{self.path}:{lineno}: corrupt journal line"
+                ) from exc
+            if not isinstance(entry, dict) or "token" not in entry:
+                raise ValueError(
+                    f"{self.path}:{lineno}: journal line has no token"
+                )
+            yield lineno, entry
+
+    def replay(self) -> Dict[str, str]:
+        """Last recorded state per token (empty when no journal exists)."""
+        states: Dict[str, str] = {}
+        for _, entry in self._lines():
+            states[str(entry["token"])] = str(entry.get("state", ""))
+        return states
+
+    def counts(self) -> Dict[str, int]:
+        """How many tokens sit in each terminal state right now."""
+        out = {state: 0 for state in STATES}
+        for state in self.replay().values():
+            out[state] = out.get(state, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        counts = self.counts()
+        parts = [f"{counts[s]} {s}" for s in STATES if counts.get(s)]
+        return f"journal {self.path}: " + (", ".join(parts) or "empty")

@@ -1,0 +1,345 @@
+"""Sweep planning: expand thousands of runs into shards that survive ^C.
+
+A noise study at the paper's scale is not eight seeds on one box — it is
+thousands of (config x seed x app) runs that take hours and *will* be
+interrupted.  :class:`SweepPlan` turns a flat list of
+:class:`~repro.exec.spec.RunSpec`\\ s into a campaign that can be killed
+at any instant and resumed without rework:
+
+* **dedup** — identical specs collapse to one planned run (fan-in gives
+  every requesting position the shared result);
+* **deterministic content-hash shards** — each unique spec is assigned to
+  shard ``int(token[:8], 16) % shards`` and ordered by token within its
+  shard, so the execution order is a pure function of the spec set (not
+  of submission order, host, or dict iteration) and lines up with the
+  :class:`~repro.exec.store.ShardedStore`'s hash-prefix layout;
+* **journal** — per-spec state transitions land in a JSON-lines
+  :class:`~repro.exec.journal.Journal` next to the plan, so a resumed
+  invocation knows exactly what completed;
+* **resume** — re-running the same plan re-dispatches only what the
+  journal does not show ``done``; completed work is served from the
+  result store as cache hits, making the re-run's reuse ratio the
+  interruption-survival metric CI gates on.
+
+The plan persists as ``plan.json`` + ``journal.jsonl`` in a directory of
+the caller's choice (``lttng-noise sweep --plan DIR``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+import repro
+from repro import obs
+from repro.exec.journal import Journal
+from repro.exec.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.runner import ParallelRunner, RunResult
+
+PLAN_FILENAME = "plan.json"
+JOURNAL_FILENAME = "journal.jsonl"
+PLAN_FORMAT = 1
+
+#: progress callback, same shape the runner uses:
+#: (done, total, spec, cached, elapsed_seconds) — done/total are plan-wide.
+PlanProgressFn = Callable[[int, int, RunSpec, bool, float], None]
+
+
+@dataclass(frozen=True)
+class PlanShard:
+    """One shard: its index and its token-ordered specs."""
+
+    index: int
+    specs: Tuple[RunSpec, ...]
+    tokens: Tuple[str, ...]
+
+
+class SweepPlan:
+    """A deduplicated, sharded, journaled batch of RunSpecs."""
+
+    def __init__(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        shards: int = 1,
+        version: Optional[str] = None,
+        plan_dir: Optional[str] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not specs:
+            raise ValueError("a sweep plan needs at least one spec")
+        self.version = version or repro.__version__
+        self.nshards = shards
+        self.plan_dir = plan_dir
+        # Dedup preserving first-occurrence order: the fan-in order.
+        seen: Dict[RunSpec, None] = {}
+        for spec in specs:
+            seen.setdefault(spec)
+        self.specs: Tuple[RunSpec, ...] = tuple(seen)
+        self.duplicates = len(specs) - len(self.specs)
+        self._tokens: Dict[RunSpec, str] = {
+            spec: spec.cache_token(self.version) for spec in self.specs
+        }
+        self.shards: Tuple[PlanShard, ...] = self._build_shards()
+        #: Campaign-wide totals accumulated across shards by :meth:`execute`.
+        self.last_stats: Dict[str, float] = {
+            "runs": 0, "cached": 0, "simulated": 0,
+            "wall_s": 0.0, "busy_s": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction details
+    # ------------------------------------------------------------------
+    def shard_index(self, token: str) -> int:
+        """Content-defined shard assignment, stable across runs/hosts."""
+        return int(token[:8], 16) % self.nshards
+
+    def _build_shards(self) -> Tuple[PlanShard, ...]:
+        buckets: List[List[Tuple[str, RunSpec]]] = [
+            [] for _ in range(self.nshards)
+        ]
+        for spec, token in self._tokens.items():
+            buckets[self.shard_index(token)].append((token, spec))
+        shards = []
+        for index, bucket in enumerate(buckets):
+            bucket.sort(key=lambda pair: pair[0])
+            shards.append(PlanShard(
+                index=index,
+                specs=tuple(spec for _, spec in bucket),
+                tokens=tuple(token for token, _ in bucket),
+            ))
+        return tuple(shards)
+
+    def token_of(self, spec: RunSpec) -> str:
+        return self._tokens[spec]
+
+    @property
+    def tokens(self) -> Tuple[str, ...]:
+        """Every planned token, in fan-in (first-occurrence) order."""
+        return tuple(self._tokens[spec] for spec in self.specs)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": PLAN_FORMAT,
+            "version": self.version,
+            "shards": self.nshards,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    def save(self, plan_dir: Optional[str] = None) -> str:
+        """Write ``plan.json`` under the plan directory; returns its path."""
+        directory = plan_dir or self.plan_dir
+        if directory is None:
+            raise ValueError("no plan directory given")
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, PLAN_FILENAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fp:
+            json.dump(self.to_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        os.replace(tmp, path)
+        self.plan_dir = directory
+        return path
+
+    @classmethod
+    def load(cls, plan_dir: str) -> "SweepPlan":
+        path = os.path.join(plan_dir, PLAN_FILENAME)
+        with open(path, "r", encoding="utf-8") as fp:
+            data = json.load(fp)
+        if data.get("format") != PLAN_FORMAT:
+            raise ValueError(
+                f"{path}: unsupported plan format {data.get('format')!r}"
+            )
+        specs = [RunSpec.from_dict(d) for d in data.get("specs", [])]
+        return cls(
+            specs,
+            shards=int(data.get("shards", 1)),
+            version=str(data.get("version", "")) or None,
+            plan_dir=plan_dir,
+        )
+
+    @staticmethod
+    def exists(plan_dir: str) -> bool:
+        return os.path.exists(os.path.join(plan_dir, PLAN_FILENAME))
+
+    def matches(self, specs: Sequence[RunSpec]) -> bool:
+        """True when ``specs`` dedups to exactly this plan's spec set."""
+        seen: Dict[RunSpec, None] = {}
+        for spec in specs:
+            seen.setdefault(spec)
+        return set(seen) == set(self.specs)
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    def journal(self) -> Journal:
+        if self.plan_dir is None:
+            raise ValueError("plan has no directory; save() it first")
+        return Journal(os.path.join(self.plan_dir, JOURNAL_FILENAME))
+
+    def states(self) -> Dict[str, str]:
+        """Last journaled state per planned token (pending if unseen)."""
+        recorded = self.journal().replay() if self.plan_dir else {}
+        return {
+            token: recorded.get(token, "pending") for token in self.tokens
+        }
+
+    def pending_specs(self) -> List[RunSpec]:
+        """Specs whose last journaled state is not ``done``."""
+        states = self.states()
+        return [
+            spec for spec in self.specs
+            if states[self._tokens[spec]] != "done"
+        ]
+
+    def verify_journal(self) -> List[str]:
+        """Consistency issues between the journal and the plan (CI gate)."""
+        issues = []
+        planned = set(self.tokens)
+        recorded = self.journal().replay()
+        for token in recorded:
+            if token not in planned:
+                issues.append(f"journaled token not in plan: {token[:12]}")
+        for token, state in self.states().items():
+            if state == "running":
+                issues.append(f"token left running: {token[:12]}")
+        return issues
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        runner: "ParallelRunner",
+        progress: Optional[PlanProgressFn] = None,
+    ) -> List["RunResult"]:
+        """Run the plan shard by shard; results in fan-in (spec) order.
+
+        Every spec goes through the runner — already-``done`` work is
+        served by the runner's result store as cache hits, which is what
+        makes an interrupted campaign resume without rework.  Transitions
+        are journaled per spec; on an ordinary exception unfinished specs
+        are marked ``failed``, on KeyboardInterrupt they stay ``running``
+        so a later ``--resume`` retries them.
+        """
+        journal = self.journal() if self.plan_dir is not None else None
+        prior = journal.replay() if journal is not None else {}
+        already_done = sum(
+            1 for token in self.tokens if prior.get(token) == "done"
+        )
+        if obs.enabled():
+            obs.counter("plan.specs").inc(len(self.specs))
+            obs.counter("plan.duplicates").inc(self.duplicates)
+            obs.counter("plan.resumed_done").inc(already_done)
+            obs.gauge("plan.shards").set(self.nshards)
+        by_spec: Dict[RunSpec, "RunResult"] = {}
+        done_count = 0
+        total = len(self.specs)
+        self.last_stats = {
+            "runs": 0, "cached": 0, "simulated": 0,
+            "wall_s": 0.0, "busy_s": 0.0,
+        }  # reset per execute(); shards accumulate below
+
+        with journal if journal is not None else _NullContext():
+            for shard in self.shards:
+                if not shard.specs:
+                    continue
+                if journal is not None:
+                    for spec in shard.specs:
+                        if prior.get(self._tokens[spec]) != "done":
+                            journal.record(
+                                self._tokens[spec], "running",
+                                shard=shard.index,
+                            )
+
+                def on_result(done: int, _total: int, spec: RunSpec,
+                              cached: bool, elapsed: float) -> None:
+                    nonlocal done_count
+                    done_count += 1
+                    by_spec_marker = self._tokens[spec]
+                    if journal is not None:
+                        journal.record(
+                            by_spec_marker, "done",
+                            cached=cached,
+                            elapsed_s=round(elapsed, 6),
+                        )
+                    if progress is not None:
+                        progress(done_count, total, spec, cached, elapsed)
+
+                try:
+                    with obs.span("shard", index=shard.index,
+                                  specs=len(shard.specs)):
+                        results = runner.run(
+                            list(shard.specs), progress=on_result
+                        )
+                except KeyboardInterrupt:
+                    # Interrupted, not failed: journal keeps `running`
+                    # entries so --resume retries exactly these.
+                    raise
+                except Exception as exc:
+                    if journal is not None:
+                        done_now = journal.replay()
+                        for spec in shard.specs:
+                            token = self._tokens[spec]
+                            if done_now.get(token) == "running":
+                                journal.record(
+                                    token, "failed", error=str(exc)[:200],
+                                )
+                    raise
+                self.last_stats["runs"] += runner.last_total
+                self.last_stats["cached"] += runner.last_cached
+                self.last_stats["simulated"] += runner.last_simulated
+                self.last_stats["wall_s"] += runner.last_wall_s
+                self.last_stats["busy_s"] += runner.last_busy_s
+                for result in results:
+                    by_spec[result.spec] = result
+        missing = [s for s in self.specs if s not in by_spec]
+        if missing:
+            raise RuntimeError(
+                f"plan execution lost {len(missing)} specs "
+                f"(first: {missing[0].describe()})"
+            )
+        return [by_spec[spec] for spec in self.specs]
+
+    def results_for(
+        self, inputs: Sequence[RunSpec], results: Sequence["RunResult"]
+    ) -> List["RunResult"]:
+        """Fan plan results back onto a (possibly duplicated) input list."""
+        by_spec = {result.spec: result for result in results}
+        return [by_spec[spec] for spec in inputs]
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        occupied = sum(1 for shard in self.shards if shard.specs)
+        dups = f", {self.duplicates} duplicates" if self.duplicates else ""
+        return (
+            f"plan: {len(self.specs)} unique specs in {occupied}/"
+            f"{self.nshards} shards{dups} (version {self.version})"
+        )
+
+
+class _NullContext:
+    """`with` target when the plan is unjournaled (no directory)."""
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None

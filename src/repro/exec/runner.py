@@ -2,15 +2,19 @@
 
 Every seeded run is deterministic and independent, so a sweep is
 embarrassingly parallel: :class:`ParallelRunner` ships :class:`RunSpec`\\ s
-to a ``ProcessPoolExecutor`` and reassembles results in input order.
-Workers exchange only plain bytes (the serialized trace + meta JSON), never
-live simulator objects, which keeps the fan-out start-method agnostic —
-fork and spawn behave identically because each worker rebuilds the workload
-from the spec.
+to a :class:`~repro.exec.backend.DispatchBackend` and reassembles results
+in input order.  Workers exchange only plain bytes (the serialized trace
++ meta JSON), never live simulator objects, which keeps the fan-out
+start-method agnostic — fork and spawn behave identically because each
+worker rebuilds the workload from the spec.
 
-When processes are unavailable (single core, restricted sandboxes, broken
-pool) the runner degrades to in-process serial execution; by construction
-the results are bit-identical either way.
+Dispatch is layered (see ``docs/sweep-orchestration.md``): the runner
+owns caching, dedup and input-order fan-in; *where* specs execute is the
+backend's business (:class:`~repro.exec.backend.LocalPoolBackend` process
+pool, :class:`~repro.exec.backend.SerialBackend` in-process, a fault-
+injecting :class:`~repro.exec.backend.FlakyBackend` for tests).  Worker
+death is retried with backoff and finally degraded to the serial
+backend; by construction the results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import os
 import time
 from dataclasses import dataclass
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterator,
@@ -31,6 +36,12 @@ from typing import (
 )
 
 from repro import obs
+from repro.exec.backend import (
+    DispatchBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    dispatch_with_retry,
+)
 from repro.exec.cache import ResultCache
 from repro.exec.spec import RunSpec
 
@@ -105,19 +116,27 @@ class RunResult:
 
 
 class ParallelRunner:
-    """Fan independent RunSpecs across processes, with optional caching."""
+    """Fan independent RunSpecs across a backend, with optional caching."""
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         parallel: bool = True,
+        backend: Optional[DispatchBackend] = None,
+        retries: int = 2,
+        backoff_s: float = 0.05,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.cache = cache
         self.parallel = parallel
+        self.backend = backend
+        self.retries = retries
+        self.backoff_s = backoff_s
         #: Filled per run() call: how many specs each path handled.
         self.last_cached = 0
         self.last_simulated = 0
@@ -214,76 +233,46 @@ class ParallelRunner:
             f"in {self.last_wall_s:.2f}s wall"
         )
 
+    def summary_dict(self) -> Dict[str, Any]:
+        """The last :meth:`run` as machine-readable fields (CI pipelines)."""
+        return {
+            "runs": self.last_total,
+            "cached": self.last_cached,
+            "simulated": self.last_simulated,
+            "wall_s": round(self.last_wall_s, 6),
+            "busy_s": round(self.last_busy_s, 6),
+            "workers": (
+                min(self.max_workers, max(1, self.last_simulated))
+                if self.used_processes else 1
+            ),
+            "backend": self._pick_backend().describe(),
+            "used_processes": self.used_processes,
+        }
+
     # ------------------------------------------------------------------
+    def _pick_backend(self, nspecs: int = 0) -> DispatchBackend:
+        """The backend this runner dispatches to (explicit or derived)."""
+        if self.backend is not None:
+            return self.backend
+        workers = min(self.max_workers, nspecs) if nspecs else self.max_workers
+        if not self.parallel or workers <= 1:
+            return SerialBackend()
+        return LocalPoolBackend(workers)
+
     def _execute(self, specs: List[RunSpec]) -> Iterator[_RunTuple]:
         """Yield ``(spec, trace, meta, elapsed)`` for every spec."""
         self.used_processes = False
-        workers = min(self.max_workers, len(specs))
-        if not self.parallel or workers <= 1:
-            yield from self._execute_serial(specs)
+        if not specs:
             return
-        try:
-            yield from self._execute_processes(specs, workers)
-        except _PoolUnavailable as exc:
-            # Restricted environments (no /dev/shm, spawn failures) or a
-            # crashed worker: fall back to the in-process path, which is
-            # bit-identical, for whatever is still missing.
-            yield from self._execute_serial(exc.remaining)
-
-    @staticmethod
-    def _execute_serial(specs: List[RunSpec]) -> Iterator[_RunTuple]:
-        from repro.core.model import TraceMeta  # noqa: F401  (import parity)
-
-        for spec in specs:
-            t0 = time.perf_counter()
-            with obs.span("run", workload=spec.workload, seed=spec.seed):
-                trace, meta = spec.execute()
-            yield spec, trace, meta, time.perf_counter() - t0
-
-    def _execute_processes(
-        self, specs: List[RunSpec], workers: int
-    ) -> Iterator[_RunTuple]:
-        from repro.core.model import TraceMeta
-        from repro.tracing.ctf import Trace
-
-        try:
-            from concurrent.futures import (
-                ProcessPoolExecutor,
-                as_completed,
-            )
-            from concurrent.futures.process import BrokenProcessPool
-        except ImportError as exc:  # pragma: no cover - stdlib always has it
-            raise _PoolUnavailable(specs) from exc
-
-        remaining = set(specs)
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_spec_serialized, spec): spec
-                    for spec in specs
-                }
-                for future in as_completed(futures):
-                    spec = futures[future]
-                    trace_bytes, meta_json, elapsed, obs_json = (
-                        future.result()
-                    )
-                    remaining.discard(spec)
-                    self.used_processes = True
-                    if obs_json is not None and obs.enabled():
-                        obs.merge_snapshot(json.loads(obs_json))
-                    yield (
-                        spec,
-                        Trace.from_bytes(trace_bytes),
-                        TraceMeta.from_json(meta_json),
-                        elapsed,
-                    )
-        except (BrokenProcessPool, OSError, RuntimeError) as exc:
-            raise _PoolUnavailable(sorted(remaining)) from exc
-
-
-class _PoolUnavailable(Exception):
-    """Process pool could not run; carries the specs still unexecuted."""
-
-    def __init__(self, remaining: List[RunSpec]) -> None:
-        super().__init__("process pool unavailable")
-        self.remaining = list(remaining)
+        backend = self._pick_backend(len(specs))
+        if isinstance(backend, SerialBackend):
+            yield from backend.execute(specs)
+            return
+        # Restricted environments (no /dev/shm, spawn failures) or dead
+        # workers: dispatch_with_retry re-dispatches with backoff, then
+        # degrades to the bit-identical in-process path.
+        for item in dispatch_with_retry(
+            backend, specs, retries=self.retries, backoff_s=self.backoff_s,
+        ):
+            self.used_processes = backend.used_processes
+            yield item

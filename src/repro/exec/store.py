@@ -1,0 +1,337 @@
+"""Sharded on-disk result store keyed by RunSpec content hashes.
+
+Generalizes the flat ``ResultCache`` directory into a store that scales to
+10k-run sweep campaigns:
+
+* **content-hash-prefix sharding** — every entry lives under a
+  subdirectory named by the first ``prefix_len`` hex digits of its token,
+  so one campaign never piles tens of thousands of files into a single
+  directory (and a remote/object-store backend can map shards to buckets
+  later);
+* **size budgets with mtime-LRU eviction** — ``max_bytes`` caps the
+  store's footprint; when a put pushes it over, the least-recently-used
+  entries (oldest mtime; hits refresh it) are evicted until under budget;
+* **durable atomic writes** — data is fsynced in a temp file, published
+  with ``os.replace``, and the shard directory is fsynced, so neither a
+  crashed run nor a crashed *machine* leaves a half-written entry that a
+  resumed sweep would trust.
+
+Each entry is still three files named by the spec's
+:meth:`~repro.exec.spec.RunSpec.cache_token`::
+
+    <shard>/<token>.lttnz      the binary trace (compressed packets)
+    <shard>/<token>.meta.json  the TraceMeta sidecar
+    <shard>/<token>.spec.json  the spec itself, for debugging/inspection
+
+The token mixes in the package version, so upgrading the simulator
+invalidates every stale entry without any cleanup pass.  Entries written
+by the pre-sharding layout (flat files in the root) are still readable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
+
+import repro
+from repro import obs
+from repro.exec.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.model import TraceMeta
+    from repro.tracing.ctf import Trace
+
+#: Environment override for the default cache location.
+CACHE_ENV = "LTTNG_NOISE_CACHE"
+
+#: The three files that make up one stored run, in `_paths` order.
+_SUFFIXES = (".lttnz", ".meta.json", ".spec.json")
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "lttng-noise")
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored run: its token, on-disk size and recency."""
+
+    token: str
+    nbytes: int
+    mtime_ns: int
+    paths: Tuple[str, ...]
+
+
+class ShardedStore:
+    """Hash-prefix-sharded directory of (trace, meta) results."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        version: Optional[str] = None,
+        *,
+        prefix_len: int = 2,
+        max_bytes: Optional[int] = None,
+        durable: bool = False,
+    ) -> None:
+        if prefix_len < 1 or prefix_len > 8:
+            raise ValueError("prefix_len must be in 1..8")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.root = root or default_cache_dir()
+        self.version = version or repro.__version__
+        self.prefix_len = prefix_len
+        self.max_bytes = max_bytes
+        self.durable = durable
+        self.hits = 0
+        self.misses = 0
+        self.evicted_lru = 0
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def token(self, spec: RunSpec) -> str:
+        return spec.cache_token(self.version)
+
+    def shard_of(self, token: str) -> str:
+        """Shard directory name for a token (its hex-digest prefix)."""
+        return token[: self.prefix_len]
+
+    def _token_paths(self, token: str) -> Tuple[str, str, str]:
+        shard = os.path.join(self.root, self.shard_of(token))
+        return (
+            os.path.join(shard, token + _SUFFIXES[0]),
+            os.path.join(shard, token + _SUFFIXES[1]),
+            os.path.join(shard, token + _SUFFIXES[2]),
+        )
+
+    def _legacy_paths(self, token: str) -> Tuple[str, str, str]:
+        """Pre-sharding layout: flat files directly under the root."""
+        return (
+            os.path.join(self.root, token + _SUFFIXES[0]),
+            os.path.join(self.root, token + _SUFFIXES[1]),
+            os.path.join(self.root, token + _SUFFIXES[2]),
+        )
+
+    def _paths(self, spec: RunSpec) -> Tuple[str, str, str]:
+        return self._token_paths(self.token(spec))
+
+    def _locate(self, token: str) -> Optional[Tuple[str, str, str]]:
+        """Paths of an existing entry (sharded, else legacy flat), or None."""
+        for paths in (self._token_paths(token), self._legacy_paths(token)):
+            if os.path.exists(paths[0]) and os.path.exists(paths[1]):
+                return paths
+        return None
+
+    def contains(self, spec: RunSpec) -> bool:
+        return self._locate(self.token(spec)) is not None
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[Tuple["Trace", "TraceMeta"]]:
+        """Stored ``(trace, meta)`` for the spec, or None on a miss.
+
+        A corrupt entry (truncated write, wrong format) counts as a miss
+        and is evicted, so the caller re-simulates instead of crashing.
+        A hit refreshes the entry's mtime — recency for the LRU budget.
+        """
+        from repro.core.model import TraceMeta
+        from repro.tracing.ctf import Trace, TraceFormatError
+
+        paths = self._locate(self.token(spec))
+        if paths is None:
+            self._miss()
+            return None
+        trace_path, meta_path, _ = paths
+        try:
+            trace = Trace.from_file(trace_path)
+            meta = TraceMeta.from_file(meta_path)
+        except (TraceFormatError, OSError, ValueError, KeyError):
+            self.evict(spec)
+            self._miss()
+            return None
+        self.hits += 1
+        self._touch(trace_path)
+        if obs.enabled():
+            obs.counter("cache.hit").inc()
+        return trace, meta
+
+    def _miss(self) -> None:
+        self.misses += 1
+        if obs.enabled():
+            obs.counter("cache.miss").inc()
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+
+    def put(self, spec: RunSpec, trace: "Trace", meta: "TraceMeta") -> None:
+        if obs.enabled():
+            obs.counter("cache.put").inc()
+        trace_path, meta_path, spec_path = self._paths(spec)
+        shard_dir = os.path.dirname(trace_path)
+        os.makedirs(shard_dir, exist_ok=True)
+        self._write_atomic(trace_path, trace.to_bytes(compress=True))
+        self._write_atomic(meta_path, meta.to_json().encode("utf-8"))
+        sidecar = dict(spec.to_dict(), version=self.version)
+        self._write_atomic(
+            spec_path, json.dumps(sidecar, indent=2).encode("utf-8")
+        )
+        if self.durable:
+            self._fsync_dir(shard_dir)
+        if self.max_bytes is not None:
+            self._enforce_budget(keep=self.token(spec))
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fp:
+                fp.write(data)
+                if self.durable:
+                    fp.flush()
+                    os.fsync(fp.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @staticmethod
+    def _fsync_dir(path: str) -> None:
+        """Make a rename durable; best-effort where dirs can't be opened."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # Enumeration + budget
+    # ------------------------------------------------------------------
+    def _entry_dirs(self) -> Iterator[str]:
+        """The root (legacy flat entries) plus every shard directory."""
+        if not os.path.isdir(self.root):
+            return
+        yield self.root
+        with os.scandir(self.root) as it:
+            for child in it:
+                if child.is_dir():
+                    yield child.path
+
+    def entries(self) -> List[StoreEntry]:
+        """Every complete stored run, with size and recency."""
+        found: Dict[str, Dict[str, Tuple[str, os.stat_result]]] = {}
+        for directory in self._entry_dirs():
+            with os.scandir(directory) as it:
+                for child in it:
+                    name = child.name
+                    for suffix in _SUFFIXES:
+                        if name.endswith(suffix):
+                            token = name[: -len(suffix)]
+                            try:
+                                stat = child.stat()
+                            except OSError:  # pragma: no cover - raced
+                                continue
+                            found.setdefault(token, {})[suffix] = (
+                                child.path, stat,
+                            )
+                            break
+        out = []
+        for token, parts in sorted(found.items()):
+            if _SUFFIXES[0] not in parts or _SUFFIXES[1] not in parts:
+                continue  # incomplete entry: not servable, not counted
+            nbytes = sum(stat.st_size for _, stat in parts.values())
+            mtime_ns = parts[_SUFFIXES[0]][1].st_mtime_ns
+            paths = tuple(parts[s][0] for s in _SUFFIXES if s in parts)
+            out.append(StoreEntry(token, nbytes, mtime_ns, paths))
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self.entries())
+
+    def _enforce_budget(self, keep: Optional[str] = None) -> int:
+        """Evict oldest-mtime entries until within ``max_bytes``.
+
+        The entry named by ``keep`` (the one just written) survives even
+        if it alone exceeds the budget — evicting the result the caller is
+        about to rely on would turn every oversized put into a livelock.
+        Returns the number of entries evicted.
+        """
+        assert self.max_bytes is not None
+        entries = self.entries()
+        total = sum(e.nbytes for e in entries)
+        if obs.enabled():
+            obs.gauge("store.bytes").set(total)
+        if total <= self.max_bytes:
+            return 0
+        evicted = 0
+        for entry in sorted(entries, key=lambda e: (e.mtime_ns, e.token)):
+            if total <= self.max_bytes:
+                break
+            if entry.token == keep:
+                continue
+            for path in entry.paths:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - raced away
+                    pass
+            total -= entry.nbytes
+            evicted += 1
+        self.evicted_lru += evicted
+        if obs.enabled():
+            obs.counter("store.evict_lru").inc(evicted)
+            obs.gauge("store.bytes").set(total)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Removal
+    # ------------------------------------------------------------------
+    def evict(self, spec: RunSpec) -> None:
+        if obs.enabled():
+            obs.counter("cache.evict").inc()
+        token = self.token(spec)
+        for paths in (self._token_paths(token), self._legacy_paths(token)):
+            for path in paths:
+                if os.path.exists(path):
+                    os.unlink(path)
+
+    def clear(self) -> int:
+        """Remove every entry (all shards); returns the runs removed."""
+        removed = 0
+        for directory in list(self._entry_dirs()):
+            for name in os.listdir(directory):
+                path = os.path.join(directory, name)
+                if not os.path.isfile(path):
+                    continue
+                if name.endswith(".lttnz"):
+                    removed += 1
+                if name.endswith(_SUFFIXES + (".tmp",)):
+                    os.unlink(path)
+            if directory != self.root and not os.listdir(directory):
+                os.rmdir(directory)
+        return removed
+
+    def describe(self) -> str:
+        budget = (
+            f", budget {self.max_bytes} bytes" if self.max_bytes else ""
+        )
+        return (
+            f"cache {self.root}: {self.hits} hits, {self.misses} misses "
+            f"(version {self.version}{budget})"
+        )

@@ -383,8 +383,11 @@ _INSTRUMENTED = (
     "repro.core.nesting",
     "repro.core.classify",
     "repro.core.analysis",
-    "repro.exec.cache",
+    "repro.exec.store",
     "repro.exec.runner",
+    "repro.exec.backend",
+    "repro.exec.plan",
+    "repro.exec.journal",
     "repro.core.sweep",
 )
 
