@@ -17,6 +17,8 @@ from repro.core.reference import ReferenceAnalysis
 from repro.util.units import MSEC, SEC
 from repro.workloads import SequoiaWorkload
 
+from trajectory import record_metric
+
 
 def test_perf_simulation(benchmark):
     """Simulate 500 ms of AMG (the event-heaviest workload) per round."""
@@ -125,6 +127,7 @@ def test_columnar_speedup_and_parity(amg_trace):
     speedup = t_ref / t_col
     print(f"\nanalyze phase: reference {t_ref*1000:.1f} ms, "
           f"columnar {t_col*1000:.1f} ms -> {speedup:.1f}x")
+    record_metric("analyze_speedup", speedup)
     assert speedup >= 5.0, f"columnar analyze phase only {speedup:.2f}x faster"
 
 
@@ -241,6 +244,7 @@ def test_streaming_memory_bounded():
     print(f"\nstreaming peak memory: 50 blocks {short_peak/1024:.0f} KiB, "
           f"500 blocks {long_peak/1024:.0f} KiB -> {growth:.2f}x for 10x "
           f"the stream")
+    record_metric("streaming_peak_growth", growth)
     assert long_sa.records_processed == 10 * short_sa.records_processed - 36
     assert growth < 2.0, (
         f"streaming peak memory grew {growth:.2f}x for a 10x longer stream"
@@ -297,6 +301,7 @@ def test_local_pool_worker_scaling():
     print(f"\nworker scaling: 1 worker {one_worker_s:.2f} s, "
           f"4 workers {four_worker_s:.2f} s -> {speedup:.2f}x "
           f"({100 * speedup / 4:.0f} % efficiency)")
+    record_metric("pool_scaling_4w", speedup)
     assert speedup >= 2.0, (
         f"4 pool workers only {speedup:.2f}x faster than 1"
     )
@@ -325,6 +330,7 @@ def test_plan_rerun_cache_reuse(tmp_path):
     print(f"\nplan rerun: {warm_stats['cached']:.0f}/"
           f"{warm_stats['runs']:.0f} served from the store "
           f"({100 * reuse:.0f} % reuse)")
+    record_metric("plan_rerun_reuse", reuse)
     assert reuse > 0.9, f"rerun reuse ratio {reuse:.2f} <= 0.9"
     for a, b in zip(cold, warm):
         assert a.spec == b.spec

@@ -1,0 +1,65 @@
+"""BENCH trajectory artifact: machine-independent perf ratios for CI.
+
+Benchmarks call :func:`record_metric` at their measurement sites; when
+the ``LTTNG_NOISE_BENCH_TRAJECTORY`` environment variable names a file,
+each recorded value is merged into that JSON document::
+
+    {"bench": "BENCH_8", "schema": 1,
+     "metrics": {"analyze_speedup": 5.7, ...}}
+
+Otherwise recording is a no-op, so the benchmarks behave identically
+under plain pytest.  Every recorded metric is a *ratio* (speedup, reuse,
+growth) rather than an absolute time, so the committed baseline in
+``benchmarks/baselines/`` gates regressions without being sensitive to
+CI machine speed.  ``lttng-noise obs diff baseline candidate`` performs
+the comparison; the baseline's ``gates`` section declares per-metric
+direction and tolerance (see docs/observability.md).
+
+Writes are read-merge-replace per call: concurrent pytest workers would
+race, but the benchmark suite is single-process by design.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+#: Environment: path of the trajectory JSON to accumulate metrics into.
+TRAJECTORY_ENV = "LTTNG_NOISE_BENCH_TRAJECTORY"
+
+#: Identity stamped into the artifact (the PR that introduced tracking).
+BENCH_NAME = "BENCH_8"
+TRAJECTORY_SCHEMA = 1
+
+
+def trajectory_path() -> str:
+    """The target file, or empty when recording is disabled."""
+    return os.environ.get(TRAJECTORY_ENV, "")
+
+
+def record_metric(name: str, value: float) -> None:
+    """Merge one named ratio into the trajectory artifact (no-op when
+    ``LTTNG_NOISE_BENCH_TRAJECTORY`` is unset)."""
+    path = trajectory_path()
+    if not path:
+        return
+    data: Dict[str, object] = {
+        "bench": BENCH_NAME, "schema": TRAJECTORY_SCHEMA, "metrics": {},
+    }
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                existing = json.load(fp)
+            if isinstance(existing, dict) and isinstance(
+                existing.get("metrics"), dict
+            ):
+                data = existing
+        except (OSError, ValueError):
+            pass  # a torn artifact restarts clean rather than crashing CI
+    data["metrics"][name] = round(float(value), 6)  # type: ignore[index]
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fp:
+        json.dump(data, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    os.replace(tmp, path)

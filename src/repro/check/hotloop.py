@@ -128,13 +128,25 @@ class ObsInHotLoopRule(Rule):
     scope = ()  # applies everywhere a "# hot" mark appears
     hint = (
         "keep a plain int tally inside the loop and publish it to obs "
-        "once at the window boundary (Engine.run_until idiom)"
+        "once at the window boundary (Engine.run_until idiom); the "
+        "sampler already reads every series on its own thread — never "
+        "call sample_now() from instrumented code"
     )
     rationale = (
         "The obs layer's disabled cost is one branch per *window*, not "
         "per event; any obs call inside a # hot loop breaks the <2% "
-        "overhead guarantee."
+        "overhead guarantee.  Sampler calls are worse still: sample_now "
+        "walks every live series under the registry lock."
     )
+
+    @staticmethod
+    def _is_sampler_call(name: str) -> bool:
+        """``sample_now()`` / ``SAMPLER.sample_now()`` / ``sampler.*``."""
+        last = name.rsplit(".", 1)[-1]
+        if last in ("sample_now", "maybe_start_worker_sampler"):
+            return True
+        root = name.split(".", 1)[0].lower()
+        return "sampler" in root
 
     def _is_hot(self, src: SourceFile, loop: ast.AST) -> bool:
         lineno = getattr(loop, "lineno", 0)
@@ -160,4 +172,9 @@ class ObsInHotLoopRule(Rule):
                         yield self.violation(
                             src, node,
                             f"obs call {name}() inside a # hot loop",
+                        )
+                    elif self._is_sampler_call(name):
+                        yield self.violation(
+                            src, node,
+                            f"sampler call {name}() inside a # hot loop",
                         )

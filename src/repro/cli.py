@@ -461,6 +461,12 @@ def _write_sweep_summary(path, name, duration, seeds, args, sweep,
             "journal": plan.journal().counts(),
             "issues": plan.verify_journal(),
         }
+    if obs.enabled():
+        # One machine-readable file for CI: the execution stats above
+        # plus the full telemetry aggregate and sampler self-accounting.
+        summary["obs"] = obs.aggregate()
+        if _ACTIVE_SAMPLER is not None:
+            summary["obs"]["sampler"] = _ACTIVE_SAMPLER.stats()
     with open(path, "w", encoding="utf-8") as fp:
         json_mod.dump(summary, fp, indent=2, sort_keys=True)
         fp.write("\n")
@@ -683,6 +689,85 @@ def cmd_check(args) -> int:
     else:
         print(render_text(result, verbose=args.verbose))
     return 1 if result.failed else 0
+
+
+def cmd_obs_tail(args) -> int:
+    """Live dashboard over a running (or finished) sweep plan directory."""
+    from repro.obs.tools import tail
+
+    try:
+        return tail(
+            args.plan_dir,
+            once=args.once,
+            interval_s=args.interval,
+        )
+    except FileNotFoundError as exc:
+        print(f"obs tail: no plan in {args.plan_dir} ({exc})",
+              file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("", file=sys.stderr)
+        return 130
+
+
+def cmd_obs_export(args) -> int:
+    """Re-target a saved telemetry capture (``--obs`` JSON lines)."""
+    from repro.obs.export import (
+        prometheus_text,
+        read_jsonl,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    try:
+        snap = read_jsonl(args.input)
+    except (OSError, ValueError) as exc:
+        print(f"obs export: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        text = prometheus_text(snap)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fp:
+                fp.write(text)
+            print(f"prom: {args.output}", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        return 0
+    if not args.output:
+        print(f"obs export --format {args.format} needs -o FILE",
+              file=sys.stderr)
+        return 2
+    if args.format == "chrome":
+        n = write_chrome_trace(args.output, snap)
+        print(f"chrome: {n} events -> {args.output} "
+              f"(open in ui.perfetto.dev)", file=sys.stderr)
+    else:
+        n = write_jsonl(args.output, snap)
+        print(f"jsonl: {n} lines -> {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    """Compare two telemetry files; exit 1 when a gated metric regressed."""
+    import json as json_mod
+
+    from repro.obs.tools import diff_files, format_diff
+
+    try:
+        rows, code = diff_files(
+            args.baseline, args.candidate, threshold=args.threshold
+        )
+    except (OSError, ValueError) as exc:
+        print(f"obs diff: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_mod.dumps(
+            {"regressed": code != 0, "rows": rows}, indent=2,
+            default=str,
+        ))
+    else:
+        print(format_diff(rows))
+    return code
 
 
 def cmd_ftq_compare(args) -> int:
@@ -917,25 +1002,115 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also dump the raw telemetry as JSON lines")
     p.set_defaults(fn=cmd_selftrace)
 
-    # Global observability switch, valid after any subcommand.
+    p = sub.add_parser(
+        "obs",
+        help="telemetry tools: live sweep dashboard, format export, "
+             "regression diff (docs/observability.md)",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    op = obs_sub.add_parser(
+        "tail",
+        help="follow a sweep's plan directory: progress bar, rate, ETA, "
+             "cache ratio, per-worker sampler lanes",
+    )
+    op.add_argument("plan_dir", help="the sweep's --plan DIR")
+    op.add_argument("--once", action="store_true",
+                    help="render one frame and exit (scripts / CI)")
+    op.add_argument("--interval", type=float, default=0.5, metavar="S",
+                    help="poll period in seconds (default: 0.5)")
+    op.set_defaults(fn=cmd_obs_tail)
+
+    op = obs_sub.add_parser(
+        "export",
+        help="convert a saved --obs JSON-lines capture to another format",
+    )
+    op.add_argument("input", help="a --obs telemetry capture (JSON lines)")
+    op.add_argument("--format", choices=("prom", "jsonl", "chrome"),
+                    default="prom",
+                    help="prom: Prometheus text exposition (default); "
+                         "jsonl: normalized JSON lines; chrome: Perfetto")
+    op.add_argument("-o", "--output", metavar="FILE",
+                    help="output file (prom defaults to stdout)")
+    op.set_defaults(fn=cmd_obs_export)
+
+    op = obs_sub.add_parser(
+        "diff",
+        help="compare two telemetry files; exit 1 on regression "
+             "(the baseline's gates section sets per-metric policy)",
+    )
+    op.add_argument("baseline", help="baseline capture or trajectory JSON")
+    op.add_argument("candidate", help="candidate capture or trajectory JSON")
+    op.add_argument("--threshold", type=float, default=0.2,
+                    help="relative tolerance for ungated metrics "
+                         "(default: 0.2, lower-is-better)")
+    op.add_argument("--json", action="store_true",
+                    help="machine-readable rows instead of the table")
+    op.set_defaults(fn=cmd_obs_diff)
+
+    # Global observability switches, valid after any subcommand.
     for sp in sub.choices.values():
         sp.add_argument(
             "--obs", metavar="PATH",
             help="collect pipeline telemetry and write it to PATH on exit "
                  "(Chrome trace if PATH ends in .json, else JSON lines)",
         )
+        sp.add_argument(
+            "--obs-sample-ms", type=int, metavar="MS",
+            help="with --obs: sample the metrics registry every MS "
+                 "milliseconds into a time-series spill (workers "
+                 "inherit the period and sample themselves)",
+        )
 
     return parser
 
 
+#: The CLI invocation's sampler, when ``--obs-sample-ms`` is active —
+#: summary writers embed its stats without threading it through args.
+_ACTIVE_SAMPLER: "Optional[obs.Sampler]" = None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    global _ACTIVE_SAMPLER
+
     args = build_parser().parse_args(argv)
     obs_path = getattr(args, "obs", None)
+    sample_ms = getattr(args, "obs_sample_ms", None)
+    if sample_ms is not None:
+        if not obs_path:
+            print("--obs-sample-ms needs --obs PATH", file=sys.stderr)
+            return 2
+        if sample_ms < 1:
+            print("--obs-sample-ms must be >= 1", file=sys.stderr)
+            return 2
+    sampler = None
     if obs_path:
         obs.enable()
+        if sample_ms:
+            from repro.obs.tools import SAMPLES_DIRNAME
+
+            # Spill next to the plan when there is one (obs tail follows
+            # that directory); otherwise beside the capture file.
+            plan_dir = getattr(args, "plan", None)
+            spill = (
+                os.path.join(plan_dir, SAMPLES_DIRNAME) if plan_dir
+                else obs_path + ".samples"
+            )
+            sampler = obs.Sampler(
+                period_s=sample_ms / 1000.0, spill_dir=spill, label="cli"
+            )
+            _ACTIVE_SAMPLER = sampler
+            sampler.start(export_env=True)
     try:
         return args.fn(args)
     finally:
+        if sampler is not None:
+            sampler.stop()
+            stats = sampler.stats()
+            print(f"obs: {stats['samples']} samples "
+                  f"@ {stats['period_ms']}ms -> {sampler.spill_dir}",
+                  file=sys.stderr)
+            _ACTIVE_SAMPLER = None
         if obs_path:
             snap = obs.snapshot()
             if obs_path.endswith(".json"):

@@ -120,6 +120,8 @@ class LocalPoolBackend(DispatchBackend):
                     pool.submit(execute_spec_serialized, spec): spec
                     for spec in specs
                 }
+                if obs.enabled():
+                    obs.gauge("backend.queue_depth").set(len(remaining))
                 for future in as_completed(futures):
                     spec = futures[future]
                     trace_bytes, meta_json, elapsed, obs_json = (
@@ -127,6 +129,9 @@ class LocalPoolBackend(DispatchBackend):
                     )
                     remaining.discard(spec)
                     self.used_processes = True
+                    if obs.enabled():
+                        obs.gauge("backend.queue_depth").set(len(remaining))
+                        obs.counter("backend.completions").inc()
                     if obs_json is not None and obs.enabled():
                         obs.merge_snapshot(json.loads(obs_json))
                     yield (

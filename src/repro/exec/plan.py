@@ -249,6 +249,8 @@ class SweepPlan:
             obs.counter("plan.duplicates").inc(self.duplicates)
             obs.counter("plan.resumed_done").inc(already_done)
             obs.gauge("plan.shards").set(self.nshards)
+            obs.gauge("plan.total").set(len(self.specs))
+            obs.gauge("plan.done").set(already_done)
         by_spec: Dict[RunSpec, "RunResult"] = {}
         done_count = 0
         total = len(self.specs)
@@ -280,6 +282,8 @@ class SweepPlan:
                             cached=cached,
                             elapsed_s=round(elapsed, 6),
                         )
+                    if obs.enabled():
+                        obs.gauge("plan.done").set(done_count)
                     if progress is not None:
                         progress(done_count, total, spec, cached, elapsed)
 

@@ -70,6 +70,9 @@ def execute_spec_serialized(
     drained into ``obs_json`` for the parent to merge — spans keep the
     worker's pid, so a merged chrome export shows per-worker tracks.
     """
+    from repro.obs.sampler import maybe_start_worker_sampler
+
+    maybe_start_worker_sampler()
     t0 = time.perf_counter()
     with obs.span("run", workload=spec.workload, seed=spec.seed):
         trace, meta = spec.execute()
@@ -171,6 +174,8 @@ class ParallelRunner:
         def report(result: RunResult) -> None:
             nonlocal done
             done += 1
+            if obs.enabled():
+                obs.gauge("runner.done").set(done)
             if progress is not None:
                 progress(done, total, result.spec, result.cached,
                          result.elapsed_s)

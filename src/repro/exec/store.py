@@ -184,12 +184,19 @@ class ShardedStore:
         trace_path, meta_path, spec_path = self._paths(spec)
         shard_dir = os.path.dirname(trace_path)
         os.makedirs(shard_dir, exist_ok=True)
-        self._write_atomic(trace_path, trace.to_bytes(compress=True))
-        self._write_atomic(meta_path, meta.to_json().encode("utf-8"))
+        trace_bytes = trace.to_bytes(compress=True)
+        meta_bytes = meta.to_json().encode("utf-8")
         sidecar = dict(spec.to_dict(), version=self.version)
-        self._write_atomic(
-            spec_path, json.dumps(sidecar, indent=2).encode("utf-8")
-        )
+        spec_bytes = json.dumps(sidecar, indent=2).encode("utf-8")
+        self._write_atomic(trace_path, trace_bytes)
+        self._write_atomic(meta_path, meta_bytes)
+        self._write_atomic(spec_path, spec_bytes)
+        if obs.enabled():
+            # Cheap running total (no directory scan): what this process
+            # wrote, charted over time by the sampler.
+            obs.counter("store.put_bytes").inc(
+                len(trace_bytes) + len(meta_bytes) + len(spec_bytes)
+            )
         if self.durable:
             self._fsync_dir(shard_dir)
         if self.max_bytes is not None:

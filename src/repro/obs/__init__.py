@@ -41,19 +41,40 @@ from repro.obs.spans import SpanRecord, current_depth, span
 from repro.obs.export import (
     aggregate,
     chrome_events,
+    prometheus_text,
     snapshot,
     write_chrome_trace,
     write_jsonl,
 )
 from repro.obs.progress import Heartbeat
+from repro.obs.sampler import (
+    OBS_SAMPLE_ENV,
+    OBS_SPILL_ENV,
+    Sampler,
+    maybe_start_worker_sampler,
+    stop_worker_sampler,
+)
+from repro.obs.timeseries import (
+    SampleRing,
+    load_sample_dir,
+    load_sample_file,
+    merge_samples,
+    sample_file_path,
+    sample_files_in,
+    series_from_samples,
+)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Heartbeat", "MetricsRegistry",
-    "REGISTRY", "SpanRecord", "aggregate", "chrome_events", "counter",
-    "current_depth", "disable", "drain_snapshot", "enable", "enabled",
-    "gauge", "histogram", "merge_snapshot", "reset", "snapshot", "span",
-    "write_chrome_trace", "write_jsonl", "DEFAULT_BUCKETS", "NOOP",
-    "OBS_ENV",
+    "REGISTRY", "Sampler", "SampleRing", "SpanRecord", "aggregate",
+    "chrome_events", "counter", "current_depth", "disable",
+    "drain_snapshot", "enable", "enabled", "gauge", "histogram",
+    "load_sample_dir", "load_sample_file", "maybe_start_worker_sampler",
+    "merge_samples", "merge_snapshot", "prometheus_text", "reset",
+    "sample_file_path", "sample_files_in", "series_from_samples",
+    "snapshot", "span", "stop_worker_sampler", "write_chrome_trace",
+    "write_jsonl", "DEFAULT_BUCKETS", "NOOP", "OBS_ENV",
+    "OBS_SAMPLE_ENV", "OBS_SPILL_ENV",
 ]
 
 

@@ -11,14 +11,23 @@ Two consumers, two shapes:
   execution opens in Perfetto exactly like the simulated kernel's traces.
   Spans become complete ("X") slices per (pid, tid); metric series become
   counter ("C") tracks.
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (counters as ``_total``, histograms with cumulative ``_bucket{le=...}``
+  plus ``_sum``/``_count``), so any scraper or Grafana agent can ingest a
+  capture; ``lttng-noise obs export --format prom`` is the CLI surface.
+
+:func:`read_jsonl` reads a ``write_jsonl`` capture back into snapshot
+shape, which is what lets ``obs export`` re-target a saved capture and
+``obs diff`` compare two of them.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, List, Optional
 
-from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.metrics import REGISTRY, MetricsRegistry, series_key
 
 
 def snapshot(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
@@ -27,11 +36,7 @@ def snapshot(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
 
 
 def _series_key(entry: Dict[str, Any]) -> str:
-    labels = entry.get("labels") or {}
-    if not labels:
-        return entry["name"]
-    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
-    return f"{entry['name']}{{{inner}}}"
+    return series_key(entry["name"], entry.get("labels"))
 
 
 # ----------------------------------------------------------------------
@@ -50,6 +55,149 @@ def write_jsonl(path: str, snap: Optional[Dict[str, Any]] = None) -> int:
     with open(path, "w") as fp:
         fp.write("\n".join(lines) + "\n")
     return len(lines)
+
+
+def read_jsonl(path: str) -> Dict[str, Any]:
+    """Read a :func:`write_jsonl` capture back into snapshot shape.
+
+    The inverse of the writer (types ``meta`` / ``counter`` / ``gauge`` /
+    ``histogram`` / ``span`` map back to the snapshot's sections), so a
+    saved ``--obs`` capture can be re-exported to another format or
+    compared with ``obs diff``.  Unknown line types are ignored for
+    forward compatibility.
+    """
+    snap: Dict[str, Any] = {
+        "meta": {}, "counters": [], "gauges": [],
+        "histograms": [], "spans": [],
+    }
+    sections = {
+        "counter": "counters", "gauge": "gauges",
+        "histogram": "histograms", "span": "spans",
+    }
+    with open(path, "r", encoding="utf-8") as fp:
+        for lineno, line in enumerate(fp, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: corrupt telemetry line"
+                ) from exc
+            kind = entry.pop("type", None)
+            if kind == "meta":
+                snap["meta"] = entry
+            elif kind in sections:
+                snap[sections[kind]].append(entry)
+    return snap
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+#: Metric-name prefix for every exposed series.
+PROM_PREFIX = "lttng_noise_"
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Series name → Prometheus metric name (dots and dashes become _)."""
+    return PROM_PREFIX + _PROM_NAME_BAD.sub("_", name)
+
+
+def _prom_labels(labels: Optional[Dict[str, Any]]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for k, v in sorted(labels.items()):
+        key = _PROM_NAME_BAD.sub("_", str(k))
+        val = str(v).replace("\\", r"\\").replace('"', r"\"")
+        val = val.replace("\n", r"\n")
+        parts.append(f'{key}="{val}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+def prometheus_text(snap: Optional[Dict[str, Any]] = None) -> str:
+    """A snapshot in the Prometheus text exposition format (version 0.0.4).
+
+    Counters are exposed with the conventional ``_total`` suffix,
+    histograms with *cumulative* ``_bucket{le=...}`` series ending in
+    ``le="+Inf"`` plus ``_sum`` and ``_count``, and span rollups as two
+    gauges (``span_count`` / ``span_total_ms``) labeled by span name —
+    enough for a Grafana dashboard to chart sweep progress and phase
+    cost without any custom ingestion.
+    """
+    snap = snap if snap is not None else snapshot()
+    lines: List[str] = []
+    seen_families = set()
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        if name in seen_families:
+            return
+        seen_families.add(name)
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snap.get("counters", ()):
+        name = _prom_name(entry["name"]) + "_total"
+        family(name, "counter", f"counter {entry['name']}")
+        lines.append(
+            f"{name}{_prom_labels(entry.get('labels'))} "
+            f"{_prom_number(entry['value'])}"
+        )
+    for entry in snap.get("gauges", ()):
+        name = _prom_name(entry["name"])
+        family(name, "gauge", f"gauge {entry['name']}")
+        lines.append(
+            f"{name}{_prom_labels(entry.get('labels'))} "
+            f"{_prom_number(entry['value'])}"
+        )
+    for entry in snap.get("histograms", ()):
+        name = _prom_name(entry["name"])
+        family(name, "histogram", f"histogram {entry['name']}")
+        labels = dict(entry.get("labels") or {})
+        cumulative = 0
+        bounds = list(entry["buckets"]) + [float("inf")]
+        for bound, count in zip(bounds, entry["counts"]):
+            cumulative += count
+            le = dict(labels, le=_prom_number(float(bound)))
+            lines.append(
+                f"{name}_bucket{_prom_labels(le)} {cumulative}"
+            )
+        label_str = _prom_labels(labels)
+        lines.append(f"{name}_sum{label_str} {_prom_number(entry['sum'])}")
+        lines.append(f"{name}_count{label_str} {entry['count']}")
+    span_rollup: Dict[str, Dict[str, float]] = {}
+    for s in snap.get("spans", ()):
+        agg = span_rollup.setdefault(
+            s["name"], {"count": 0, "total_ms": 0.0}
+        )
+        agg["count"] += 1
+        agg["total_ms"] += s["dur_ns"] / 1e6
+    if span_rollup:
+        cname = PROM_PREFIX + "span_count"
+        tname = PROM_PREFIX + "span_total_ms"
+        family(cname, "gauge", "finished spans per name")
+        family(tname, "gauge", "total span wall time per name (ms)")
+        for span_name in sorted(span_rollup):
+            agg = span_rollup[span_name]
+            labels_str = _prom_labels({"name": span_name})
+            lines.append(
+                f"{cname}{labels_str} {_prom_number(agg['count'])}"
+            )
+            lines.append(
+                f"{tname}{labels_str} {_prom_number(agg['total_ms'])}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 # ----------------------------------------------------------------------

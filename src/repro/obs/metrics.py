@@ -48,6 +48,20 @@ def _label_items(labels: Dict[str, Any]) -> LabelItems:
     return tuple(sorted(labels.items()))
 
 
+def series_key(name: str, labels: Any) -> str:
+    """Canonical flat key for one series: ``name{k=v,...}`` (sorted labels).
+
+    The one spelling shared by exports, time-series samples and the
+    ``obs diff`` comparison surface, so a metric keeps its identity from
+    the instrumentation site all the way to a Prometheus scrape.
+    """
+    items = dict(labels) if labels else {}
+    if not items:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(items.items()))
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """Monotonically increasing tally."""
 
@@ -225,6 +239,26 @@ class MetricsRegistry:
             m for (k, _, _), m in self._series.items()
             if kind is None or k == kind
         ]
+
+    def scalar_values(self) -> Dict[str, float]:
+        """Every series as one scalar per flat key — the sampler's view.
+
+        Counters and gauges contribute their value under
+        :func:`series_key`; histograms contribute ``key:count`` and
+        ``key:sum`` (the two scalars that evolve monotonically enough to
+        chart over time).  Spans are deliberately excluded: sampling is
+        O(series), not O(history).
+        """
+        out: Dict[str, float] = {}
+        with self._lock:
+            for (kind, name, labels), m in self._series.items():
+                key = series_key(name, labels)
+                if kind == "histogram":
+                    out[key + ":count"] = m.count
+                    out[key + ":sum"] = m.sum
+                else:
+                    out[key] = m.value
+        return out
 
     # ------------------------------------------------------------------
     # Snapshot / merge (the cross-process protocol)

@@ -42,10 +42,15 @@ class Heartbeat:
         whether a line was emitted."""
         self.done = self.done + 1 if done is None else done
         reg = self.registry
+        now = time.perf_counter()
         if reg.enabled:
             reg.gauge("progress.units_done", label=self.label).set(self.done)
             reg.counter("progress.heartbeats", label=self.label).inc()
-        now = time.perf_counter()
+            elapsed = now - self.t0
+            if elapsed > 0:
+                reg.gauge("progress.rate", label=self.label).set(
+                    self.done / elapsed
+                )
         if now - self._last_emit < self.interval_s:
             return False
         self._last_emit = now
@@ -61,9 +66,18 @@ class Heartbeat:
             file=self.stream,
         )
         if self.registry.enabled:
+            # Final truth even when no tick ever crossed the emit interval
+            # (or tick was never called at all).
+            self.registry.gauge(
+                "progress.units_done", label=self.label
+            ).set(self.done)
             self.registry.gauge(
                 "progress.elapsed_s", label=self.label
             ).set(elapsed)
+            if elapsed > 0:
+                self.registry.gauge("progress.rate", label=self.label).set(
+                    self.done / elapsed
+                )
 
     # ------------------------------------------------------------------
     def _frac(self) -> str:

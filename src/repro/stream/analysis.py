@@ -276,6 +276,8 @@ class StreamingAnalysis:
         if obs.enabled():
             if n:
                 obs.counter("stream.records").inc(n)
+            if floor is not None:
+                obs.gauge("stream.floor_ns").set(floor)
             self._obs_flush()
 
     def _on_chunk(self, index: int, table: ActivityTable) -> None:

@@ -1,0 +1,12 @@
+# noiselint-fixture: repro/simkernel/fixture_hot002_sampler.py
+"""Positive fixture: a sampler call inside a loop marked # hot."""
+
+from repro.obs.sampler import Sampler
+
+SAMPLER = Sampler()
+
+
+def run(queue):
+    while queue:  # hot
+        queue.pop()
+        SAMPLER.sample_now()

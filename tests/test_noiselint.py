@@ -57,6 +57,7 @@ def rules_hit(result):
         ("nsx002_bad.py", "NSX002", 8),
         ("hot001_bad.py", "HOT001", 7),
         ("hot002_bad.py", "HOT002", 10),
+        ("hot002_sampler_bad.py", "HOT002", 12),
     ],
 )
 def test_rule_fires(fixture, rule, line):
