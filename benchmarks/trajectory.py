@@ -4,7 +4,7 @@ Benchmarks call :func:`record_metric` at their measurement sites; when
 the ``LTTNG_NOISE_BENCH_TRAJECTORY`` environment variable names a file,
 each recorded value is merged into that JSON document::
 
-    {"bench": "BENCH_8", "schema": 1,
+    {"bench": "BENCH_9", "schema": 1,
      "metrics": {"analyze_speedup": 5.7, ...}}
 
 Otherwise recording is a no-op, so the benchmarks behave identically
@@ -29,7 +29,7 @@ from typing import Dict
 TRAJECTORY_ENV = "LTTNG_NOISE_BENCH_TRAJECTORY"
 
 #: Identity stamped into the artifact (the PR that introduced tracking).
-BENCH_NAME = "BENCH_8"
+BENCH_NAME = "BENCH_9"
 TRAJECTORY_SCHEMA = 1
 
 

@@ -35,8 +35,6 @@ import os
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from repro import obs
 from repro.core import (
     NoiseAnalysis,
@@ -224,24 +222,11 @@ def cmd_analyze(args) -> int:
               f"{analysis.activities_total} activities")
     else:
         analysis = _analysis(args)
-    print(f"span {fmt_ns(analysis.span_ns)}, {analysis.ncpus} cpus")
-    print(f"total noise:     {fmt_ns(analysis.total_noise_ns())}")
-    print(f"noise fraction:  {analysis.noise_fraction() * 100:.4f} %")
-    print(f"noise imbalance: {analysis.noise_imbalance():.3f}")
-    print("breakdown:")
-    for category, fraction in analysis.breakdown_fractions().items():
-        print(f"  {category.value:<12s} {fraction * 100:8.4f} %")
-    rows = analysis.stats_by_event(noise_only=not args.all_events)
-    print(format_table(
-        "Per-event statistics (freq per CPU-second)", rows
+    from repro.core.report import render_analysis_summary
+
+    print(render_analysis_summary(
+        analysis, quanta=quanta, all_events=args.all_events
     ))
-    for quantum_ns in quanta:
-        timeline = analysis.noise_timeline(quantum_ns)
-        peak = int(np.argmax(timeline)) if len(timeline) else 0
-        print(f"timeline @ {fmt_ns(quantum_ns)}: {len(timeline)} bins, "
-              f"peak bin {peak} = {fmt_ns(int(timeline[peak]))}"
-              if len(timeline) else
-              f"timeline @ {fmt_ns(quantum_ns)}: empty")
     return 0
 
 
@@ -787,6 +772,114 @@ def cmd_ftq_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the analysis service until SIGTERM/SIGINT (docs/service.md)."""
+    import asyncio
+
+    from repro.service.handlers import run_server
+    from repro.service.http import parse_hostport
+
+    try:
+        host, port = parse_hostport(args.listen, 8787)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    # The service self-observes unconditionally: /metrics, per-request
+    # spans and the service.* gauges all read the obs registry.
+    if not obs.enabled():
+        obs.enable()
+
+    def announce(server) -> None:
+        print(f"listening on http://{server.host}:{server.port} "
+              f"(jobs: {args.max_concurrency} concurrent, store: "
+              f"{args.store or 'temporary'})",
+              file=sys.stderr, flush=True)
+
+    served, counts = asyncio.run(run_server(
+        host=host,
+        port=port,
+        store_root=args.store,
+        max_concurrency=args.max_concurrency,
+        max_store_bytes=args.max_store_bytes,
+        use_pool=not args.serial,
+        announce=announce,
+    ))
+    jobs = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+    print(f"drained: {served} requests served, jobs {jobs or 'none'}",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit work to a running ``lttng-noise serve`` and print the
+    analysis (bit-identical to ``lttng-noise analyze`` on the same run).
+    """
+    from repro.exec.spec import RunSpec
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.http import parse_hostport
+
+    if (args.workload is None) == (args.trace is None):
+        print("submit: pass a WORKLOAD or --trace FILE (not both)",
+              file=sys.stderr)
+        return 2
+    try:
+        host, port = parse_hostport(args.server, 8787)
+    except ValueError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    import json as json_mod
+
+    try:
+        with ServiceClient(host, port, timeout_s=args.timeout) as client:
+            if args.trace is not None:
+                out = client.upload_file(args.trace,
+                                         window_ns=args.window_ns,
+                                         meta_path=args.meta)
+                job, result = out["job"], out["result"]
+                print(f"job {job['id']}: {job['state']} "
+                      f"in {job['elapsed_s']:.3f}s", file=sys.stderr)
+                if args.json:
+                    print(json_mod.dumps(result, indent=2, sort_keys=True))
+                else:
+                    print(result["analyze_text"])
+                return 0
+            spec = RunSpec.make(
+                args.workload, parse_duration(args.duration),
+                args.seed, args.ncpus,
+            )
+            submitted = client.submit(spec)
+            job = submitted["job"]
+            print(f"job {job['id'][:12]}… "
+                  f"{'created' if submitted['created'] else 'deduped'}",
+                  file=sys.stderr)
+            if args.no_wait:
+                print(job["id"])
+                return 0
+            final = client.wait(job["id"], timeout_s=args.timeout)
+            cached = " (cached)" if final.get("cached") else ""
+            print(f"job {job['id'][:12]}… {final['state']}{cached} "
+                  f"in {final['elapsed_s']:.3f}s", file=sys.stderr)
+            if final["state"] == "failed":
+                print(f"error: {final.get('error')}", file=sys.stderr)
+                return 1
+            if args.json:
+                result = client.result(job["id"])["result"]
+                print(json_mod.dumps(result, indent=2, sort_keys=True))
+            else:
+                body = client.render(job["id"], args.render)
+                text = (body if isinstance(body, str)
+                        else body.decode("utf-8", errors="replace"))
+                print(text, end="" if text.endswith("\n") else "\n")
+            return 0
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"submit: cannot reach {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
 # ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -973,6 +1066,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="also list suppressed violations")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "serve",
+        help="noise-analysis-as-a-service: async HTTP/JSON server over "
+             "the result store (docs/service.md)",
+    )
+    p.add_argument("--listen", default="127.0.0.1:8787", metavar="HOST:PORT",
+                   help="bind address (default: 127.0.0.1:8787; port 0 "
+                        "picks a free port, printed on stderr)")
+    p.add_argument("--store", metavar="DIR",
+                   help="sharded result store shared across requests and "
+                        "server restarts (default: a temporary directory)")
+    p.add_argument("--max-concurrency", type=int, default=4, metavar="N",
+                   help="jobs analyzed at once; the rest queue (default: 4)")
+    p.add_argument("--max-store-bytes", type=int, metavar="BYTES",
+                   help="store size budget with LRU eviction")
+    p.add_argument("--serial", action="store_true",
+                   help="run cold jobs in-process instead of a worker "
+                        "process (results are bit-identical)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a run spec or trace upload to a running serve "
+             "instance and print the analysis",
+    )
+    p.add_argument("workload", nargs="?",
+                   help="FTQ or a Sequoia benchmark name")
+    p.add_argument("--duration", default="500ms",
+                   help="simulated time (e.g. 500ms)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ncpus", type=int, default=8)
+    p.add_argument("--trace", metavar="FILE",
+                   help="stream this recorded trace up for analysis "
+                        "instead of submitting a spec")
+    p.add_argument("--window-ns", type=int, metavar="NS",
+                   help="with --trace: server-side streaming window size")
+    p.add_argument("--meta", metavar="FILE",
+                   help="with --trace: metadata sidecar to send along "
+                        "(default: the .meta.json next to the trace)")
+    p.add_argument("--server", default="127.0.0.1:8787",
+                   metavar="HOST:PORT")
+    p.add_argument("--render", default="analyze",
+                   choices=("analyze", "report", "chart", "timeline"),
+                   help="text render to print (default: analyze)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw result payload instead of a render")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and exit without polling")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="poll/connect timeout in seconds (default: 120)")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("ftq-compare", help="FTQ vs trace validation")
     p.add_argument("trace")

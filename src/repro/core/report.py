@@ -147,6 +147,43 @@ def render_ascii_trace(
     return "\n".join(lines)
 
 
+def render_analysis_summary(analysis, quanta=(), all_events=False) -> str:
+    """The ``lttng-noise analyze`` body as one string.
+
+    Shared by the CLI and the analysis service (``lttng-noise serve``):
+    both render through this function, which is what makes a service
+    response bit-identical to the batch CLI's stdout.  ``analysis`` may
+    be a batch :class:`~repro.core.analysis.NoiseAnalysis` or a finished
+    :class:`~repro.stream.analysis.StreamingAnalysis` — the query surface
+    is the same.
+    """
+    import numpy as np
+
+    lines = [
+        f"span {fmt_ns(analysis.span_ns)}, {analysis.ncpus} cpus",
+        f"total noise:     {fmt_ns(analysis.total_noise_ns())}",
+        f"noise fraction:  {analysis.noise_fraction() * 100:.4f} %",
+        f"noise imbalance: {analysis.noise_imbalance():.3f}",
+        "breakdown:",
+    ]
+    for category, fraction in analysis.breakdown_fractions().items():
+        lines.append(f"  {category.value:<12s} {fraction * 100:8.4f} %")
+    rows = analysis.stats_by_event(noise_only=not all_events)
+    lines.append(format_table(
+        "Per-event statistics (freq per CPU-second)", rows
+    ))
+    for quantum_ns in quanta:
+        timeline = analysis.noise_timeline(quantum_ns)
+        peak = int(np.argmax(timeline)) if len(timeline) else 0
+        lines.append(
+            f"timeline @ {fmt_ns(quantum_ns)}: {len(timeline)} bins, "
+            f"peak bin {peak} = {fmt_ns(int(timeline[peak]))}"
+            if len(timeline) else
+            f"timeline @ {fmt_ns(quantum_ns)}: empty"
+        )
+    return "\n".join(lines)
+
+
 def full_report(analysis, meta=None) -> str:
     """One-shot text report: tables, breakdown, imbalance, task states.
 

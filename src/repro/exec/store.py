@@ -309,29 +309,45 @@ class ShardedStore:
     # ------------------------------------------------------------------
     # Removal
     # ------------------------------------------------------------------
+    @staticmethod
+    def _unlink_quiet(path: str) -> bool:
+        """Remove a file that may have raced away; True when we removed
+        it.  exists-then-unlink would TOCTOU against a concurrent
+        evictor/clearer deleting the same entry."""
+        try:
+            os.unlink(path)
+            return True
+        except FileNotFoundError:
+            return False
+
     def evict(self, spec: RunSpec) -> None:
         if obs.enabled():
             obs.counter("cache.evict").inc()
         token = self.token(spec)
         for paths in (self._token_paths(token), self._legacy_paths(token)):
             for path in paths:
-                if os.path.exists(path):
-                    os.unlink(path)
+                self._unlink_quiet(path)
 
     def clear(self) -> int:
         """Remove every entry (all shards); returns the runs removed."""
         removed = 0
         for directory in list(self._entry_dirs()):
-            for name in os.listdir(directory):
+            try:
+                names = os.listdir(directory)
+            except FileNotFoundError:  # raced with another clear()
+                continue
+            for name in names:
                 path = os.path.join(directory, name)
                 if not os.path.isfile(path):
                     continue
-                if name.endswith(".lttnz"):
-                    removed += 1
                 if name.endswith(_SUFFIXES + (".tmp",)):
-                    os.unlink(path)
-            if directory != self.root and not os.listdir(directory):
-                os.rmdir(directory)
+                    if self._unlink_quiet(path) and name.endswith(".lttnz"):
+                        removed += 1
+            if directory != self.root:
+                try:
+                    os.rmdir(directory)  # fails (kept) unless empty
+                except OSError:
+                    pass
         return removed
 
     def describe(self) -> str:

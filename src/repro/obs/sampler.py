@@ -80,6 +80,11 @@ class Sampler:
         self._seq = 0
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        #: Serializes start/stop: a service shutting down calls stop()
+        #: from both its atexit hook and its SIGTERM path, possibly on
+        #: two threads at once — exactly one of them may emit the
+        #: closing sample.
+        self._lifecycle = threading.Lock()
         self._exported_env = False
         self._last_mono_ns: Optional[int] = None
         #: Overhead/cadence accounting, embedded in sweep summaries.
@@ -101,19 +106,22 @@ class Sampler:
         when set) through the environment so worker processes spawned
         after this point sample themselves too.
         """
-        if self.running:
-            return self
-        if export_env:
-            os.environ[OBS_SAMPLE_ENV] = str(int(self.period_s * 1000))
-            if self.spill_dir is not None:
-                os.environ[OBS_SPILL_ENV] = self.spill_dir
-            self._exported_env = True
-        self._stop.clear()
-        self.sample_now()  # t=0 baseline so every capture has >=1 sample
-        self._thread = threading.Thread(
-            target=self._loop, name=f"obs-sampler-{self.label}", daemon=True
-        )
-        self._thread.start()
+        with self._lifecycle:
+            if self.running:
+                return self
+            if export_env:
+                os.environ[OBS_SAMPLE_ENV] = str(int(self.period_s * 1000))
+                if self.spill_dir is not None:
+                    os.environ[OBS_SPILL_ENV] = self.spill_dir
+                self._exported_env = True
+            self._stop.clear()
+            # t=0 baseline so every capture has >=1 sample.
+            self.sample_now()
+            self._thread = threading.Thread(
+                target=self._loop, name=f"obs-sampler-{self.label}",
+                daemon=True,
+            )
+            self._thread.start()
         return self
 
     def _loop(self) -> None:
@@ -123,20 +131,24 @@ class Sampler:
     def stop(self) -> List[Sample]:
         """Stop the thread, take a final sample, close the spill file.
 
-        Returns the in-memory sample window.  Idempotent; safe to call
-        on a sampler that never started.
+        Returns the in-memory sample window.  Idempotent — including
+        under *concurrent* callers: a process shutting down may reach
+        here from its atexit hook and a SIGTERM handler at once, and
+        exactly one of them takes the closing sample (the loser sees the
+        thread already claimed and just returns the window).
         """
-        if self._thread is not None:
-            self._stop.set()
-            self._thread.join(timeout=max(1.0, 10 * self.period_s))
-            self._thread = None
-            self.sample_now()  # closing reading: the end-of-run state
-        if self._exported_env:
-            os.environ.pop(OBS_SAMPLE_ENV, None)
-            os.environ.pop(OBS_SPILL_ENV, None)
-            self._exported_env = False
-        self.ring.close()
-        return self.ring.samples()
+        with self._lifecycle:
+            thread, self._thread = self._thread, None
+            if thread is not None:
+                self._stop.set()
+                thread.join(timeout=max(1.0, 10 * self.period_s))
+                self.sample_now()  # closing reading: the end-of-run state
+            if self._exported_env:
+                os.environ.pop(OBS_SAMPLE_ENV, None)
+                os.environ.pop(OBS_SPILL_ENV, None)
+                self._exported_env = False
+            self.ring.close()
+            return self.ring.samples()
 
     # ------------------------------------------------------------------
     # Sampling

@@ -1,0 +1,374 @@
+"""Minimal asyncio HTTP/1.1 server core (dependency-free).
+
+Just enough protocol for the analysis service: request-line + header
+parsing with hard size caps, ``Content-Length`` and ``chunked`` bodies
+exposed as a *pull-based* async chunk iterator (the handler reads the
+socket as it consumes, so TCP flow control backpressures a fast uploader
+against a slow analyzer), HTTP/1.1 keep-alive, and graceful drain — stop
+accepting, let in-flight requests finish, then close.
+
+Deliberately not here: routing, JSON, auth, TLS.  Routing and JSON live
+in :mod:`repro.service.handlers`; the server takes one
+``async handler(Request) -> Response`` callable and stays protocol-only,
+which is what makes it testable with a plain socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import (
+    Any,
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+#: Default cap on the request head (request line + headers).
+MAX_HEADER_BYTES = 32 * 1024
+#: Default cap on one request body; oversized uploads get a 413.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+#: Socket read granularity for streamed bodies.
+READ_CHUNK = 64 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request-scoped failure with a definite status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed request; the body is read lazily from the socket."""
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        reader: asyncio.StreamReader,
+        max_body_bytes: int,
+    ) -> None:
+        self.method = method
+        self.target = target
+        path, _, query_str = target.partition("?")
+        self.path = path
+        self.query = _parse_query(query_str)
+        self.headers = headers
+        self._reader = reader
+        self._max_body_bytes = max_body_bytes
+        self._body_started = False
+        self.body_consumed = False
+        self.body_bytes_read = 0
+        self._chunked = (
+            headers.get("transfer-encoding", "").lower().find("chunked") >= 0
+        )
+        try:
+            self._content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if self._content_length < 0:
+            raise HttpError(400, "negative Content-Length")
+
+    @property
+    def has_body(self) -> bool:
+        return self._chunked or self._content_length > 0
+
+    async def chunks(self) -> AsyncIterator[bytes]:
+        """The body as byte pieces, pulled from the socket on demand.
+
+        Raises :class:`HttpError` 413 as soon as the declared or streamed
+        size exceeds the server's body cap — before buffering it.
+        """
+        if self._body_started:
+            raise RuntimeError("request body already consumed")
+        self._body_started = True
+        if self._chunked:
+            async for piece in self._chunked_pieces():
+                yield piece
+        else:
+            if self._content_length > self._max_body_bytes:
+                raise HttpError(413, "request body exceeds the size cap")
+            remaining = self._content_length
+            while remaining > 0:
+                piece = await self._reader.read(min(remaining, READ_CHUNK))
+                if not piece:
+                    raise HttpError(400, "request body truncated")
+                remaining -= len(piece)
+                self.body_bytes_read += len(piece)
+                yield piece
+        self.body_consumed = True
+
+    async def _chunked_pieces(self) -> AsyncIterator[bytes]:
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise HttpError(400, "chunked body truncated")
+            try:
+                size = int(line.split(b";", 1)[0].strip(), 16)
+            except ValueError:
+                raise HttpError(400, "malformed chunk size")
+            if size == 0:
+                # Trailer section: read until the blank line.
+                while True:
+                    trailer = await self._reader.readline()
+                    if trailer in (b"\r\n", b"\n", b""):
+                        return
+            self.body_bytes_read += size
+            if self.body_bytes_read > self._max_body_bytes:
+                raise HttpError(413, "request body exceeds the size cap")
+            remaining = size
+            while remaining > 0:
+                piece = await self._reader.read(min(remaining, READ_CHUNK))
+                if not piece:
+                    raise HttpError(400, "chunked body truncated")
+                remaining -= len(piece)
+                yield piece
+            crlf = await self._reader.readline()
+            if crlf not in (b"\r\n", b"\n"):
+                raise HttpError(400, "missing chunk terminator")
+
+    async def body(self) -> bytes:
+        """The whole body, buffered (submit-sized payloads only)."""
+        pieces = []
+        async for piece in self.chunks():
+            pieces.append(piece)
+        return b"".join(pieces)
+
+
+class Response:
+    """What a handler returns; serialized by the connection loop."""
+
+    def __init__(
+        self,
+        status: int = 200,
+        body: bytes = b"",
+        content_type: str = "application/octet-stream",
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        import json
+
+        return cls(
+            status,
+            (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+            content_type="application/json",
+        )
+
+    @classmethod
+    def text(cls, text: str, status: int = 200,
+             content_type: str = "text/plain; charset=utf-8") -> "Response":
+        return cls(status, text.encode("utf-8"), content_type=content_type)
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+def _parse_query(query_str: str) -> Dict[str, str]:
+    """``a=1&b=x`` → dict; bare keys map to ``""``; no percent-decoding
+    beyond ``%xx``/``+`` for the simple values the service uses."""
+    from urllib.parse import unquote_plus
+
+    out: Dict[str, str] = {}
+    for part in query_str.split("&"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        out[unquote_plus(key)] = unquote_plus(value)
+    return out
+
+
+class HttpServer:
+    """One listening socket, many keep-alive connections, one handler."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_header_bytes: int = MAX_HEADER_BYTES,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.Task[None]] = set()
+        self._draining = False
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=max(self.max_header_bytes, READ_CHUNK),
+        )
+        sockets = self._server.sockets or []
+        self.port = sockets[0].getsockname()[1] if sockets else None
+
+    async def drain(self, timeout_s: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight requests."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = list(self._connections)
+        if pending:
+            await asyncio.wait(pending, timeout=timeout_s)
+        for task in list(self._connections):
+            task.cancel()
+
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._draining:
+                request = await self._read_head(reader)
+                if request is None:
+                    return
+                keep_alive = (
+                    request.headers.get("connection", "").lower() != "close"
+                )
+                try:
+                    response = await self.handler(request)
+                except HttpError as exc:
+                    response = _error_response(exc)
+                self.requests_served += 1
+                # A handler that left body bytes on the socket would make
+                # the next request unparseable; close instead of resyncing.
+                dirty = request.has_body and not request.body_consumed
+                close = self._draining or dirty or not keep_alive
+                await self._write_response(writer, response, close=close)
+                if close:
+                    return
+        except (HttpError,) as exc:
+            # Parse-level failure: answer if the socket still writes.
+            try:
+                await self._write_response(
+                    writer, _error_response(exc), close=True
+                )
+            except (ConnectionError, OSError):
+                pass
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionError, OSError):
+            pass  # client went away mid-request
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Request]:
+        """Parse one request head; None on a cleanly closed connection."""
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise HttpError(400, "request line too long")
+        if not line.strip():
+            if not line:
+                return None
+            line = await reader.readline()  # tolerate one stray CRLF
+            if not line.strip():
+                return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        head_bytes = len(line)
+        while True:
+            try:
+                raw = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                raise HttpError(400, "header line too long")
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise HttpError(400, "truncated request head")
+            head_bytes += len(raw)
+            if head_bytes > self.max_header_bytes:
+                raise HttpError(400, "request head too large")
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise HttpError(400, "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        return Request(
+            method.upper(), target, headers, reader, self.max_body_bytes
+        )
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter, response: Response, close: bool
+    ) -> None:
+        reason = REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in response.headers.items():
+            head.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+        )
+        writer.write(response.body)
+        await writer.drain()
+
+
+def _error_response(exc: HttpError) -> Response:
+    return Response.json(
+        {"error": exc.message, "status": exc.status}, status=exc.status
+    )
+
+
+def parse_hostport(text: str, default_port: int) -> Tuple[str, int]:
+    """``host[:port]`` → (host, port); used by the CLI flags."""
+    host, sep, port_str = text.rpartition(":")
+    if not sep:
+        return text, default_port
+    try:
+        return host or "127.0.0.1", int(port_str)
+    except ValueError:
+        raise ValueError(f"bad host:port {text!r}")

@@ -600,6 +600,46 @@ class TestSampler:
         with pytest.raises(ValueError):
             obs.Sampler(period_s=0)
 
+    def test_stop_is_idempotent_sequentially(self):
+        sampler = obs.Sampler(registry=self._reg(), period_s=60.0)
+        sampler.start()
+        first = sampler.stop()
+        assert [s["seq"] for s in first] == [0, 1]  # baseline + closing
+        # Repeated stops return the window without sampling again.
+        assert sampler.stop() == first
+        assert sampler.ring.appended == 2
+
+    def test_concurrent_stops_emit_exactly_one_closing_sample(self,
+                                                              tmp_path):
+        """The service shutdown path can call stop() from an atexit hook
+        and a SIGTERM handler at once; both passing the thread-is-set
+        check used to emit two closing samples."""
+        sampler = obs.Sampler(registry=self._reg(), period_s=60.0,
+                              spill_dir=str(tmp_path))
+        sampler.start()
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def stopper():
+            try:
+                barrier.wait()
+                sampler.stop()
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=stopper) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert not sampler.running
+        # Exactly two samples for the whole lifecycle: the t=0 baseline
+        # and ONE closing reading — no matter how many stoppers raced.
+        assert sampler.ring.appended == 2
+        spilled = obs.load_sample_file(obs.sample_file_path(str(tmp_path)))
+        assert [s["seq"] for s in spilled] == [0, 1]
+
 
 # ----------------------------------------------------------------------
 # Cross-process sample merge

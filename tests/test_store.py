@@ -164,3 +164,100 @@ class TestEnumeration:
         assert store.clear() == 3
         assert store.entries() == []
         assert store.get(spec(0)) is None
+
+
+class TestConcurrency:
+    """Races the service exposes: many requests share one store, so
+    same-key writers, evict-vs-put and budget enforcement all run
+    concurrently from worker threads."""
+
+    def _race(self, nthreads, fn):
+        """Run fn(i) on nthreads threads through a start barrier;
+        re-raises the first worker exception."""
+        import threading
+
+        barrier = threading.Barrier(nthreads)
+        errors = []
+
+        def body(i):
+            try:
+                barrier.wait()
+                fn(i)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=body, args=(i,))
+            for i in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return errors
+
+    def test_concurrent_same_key_puts_converge(self, tmp_path, executed):
+        """Atomic rename means same-key racers are last-wins with
+        *identical* content: the entry is always complete and readable,
+        and no temp litter survives."""
+        s, trace, meta = executed
+        store = ShardedStore(str(tmp_path))
+        errors = self._race(8, lambda i: store.put(s, trace, meta))
+        assert errors == []
+        hit = store.get(s)
+        assert hit is not None
+        assert hit[0].to_bytes() == trace.to_bytes()
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert len(store.entries()) == 1
+
+    def test_concurrent_evict_and_put_never_raise(self, tmp_path, executed):
+        """evict() used exists-then-unlink, which raced against a
+        concurrent evictor (FileNotFoundError between check and unlink).
+        Mixed put/get/evict storms must never escape an exception."""
+        s, trace, meta = executed
+        store = ShardedStore(str(tmp_path))
+
+        def body(i):
+            for _ in range(10):
+                if i % 3 == 0:
+                    store.put(s, trace, meta)
+                elif i % 3 == 1:
+                    store.evict(s)
+                else:
+                    store.get(s)
+
+        errors = self._race(6, body)
+        assert errors == []
+
+    def test_concurrent_clear_never_raises(self, tmp_path, executed):
+        s, trace, meta = executed
+        store = ShardedStore(str(tmp_path))
+        for seed in range(4):
+            store.put(spec(seed), trace, meta)
+        errors = self._race(4, lambda i: store.clear())
+        assert errors == []
+        assert store.entries() == []
+
+    def test_budget_holds_under_concurrent_writers(self, tmp_path,
+                                                   executed):
+        """Racing budgeted puts may each enforce against a directory the
+        other is still writing; once all writers finish, the budget must
+        hold and every surviving entry must be complete."""
+        s0, trace, meta = executed
+        probe = ShardedStore(str(tmp_path / "probe"))
+        probe.put(s0, trace, meta)
+        entry_bytes = probe.total_bytes()
+
+        store = ShardedStore(str(tmp_path / "s"),
+                             max_bytes=int(entry_bytes * 3.5))
+        errors = self._race(
+            8, lambda i: store.put(spec(i), trace, meta)
+        )
+        assert errors == []
+        # A last sequential put observes the settled directory and
+        # enforces the final budget.
+        store.put(s0, trace, meta)
+        assert store.total_bytes() <= store.max_bytes
+        for entry in store.entries():
+            assert len(entry.paths) == 3
+        assert list((tmp_path / "s").rglob("*.tmp")) == []
