@@ -24,7 +24,15 @@ Layout:
 * :mod:`repro.check.hotloop` — HOT rules: no per-row Python loops over
   columnar tables, no obs calls inside ``# hot`` loops;
 * :mod:`repro.check.schema` — SCH rules: cross-file trace-vocabulary
-  consistency (events.py vs. emit sites vs. classify's category LUT).
+  consistency (events.py vs. emit sites vs. classify's category LUT);
+* :mod:`repro.check.callgraph` — per-file function summaries linked
+  into a project call graph (contexts, locks, blocking, roots);
+* :mod:`repro.check.concurrency` — CON rules: unlocked shared state,
+  bare acquire/release, AB/BA lock order, signal/atexit reentrancy;
+* :mod:`repro.check.asyncrules` — ASY rules: blocking calls on the
+  event loop, un-awaited coroutines, loop-confinement violations;
+* :mod:`repro.check.incremental` — content-hash cache over the import
+  graph + ``--jobs`` parallel front-end.
 """
 
 from __future__ import annotations
@@ -42,6 +50,8 @@ from repro.check.framework import (
 from repro.check.report import render_json, render_text
 
 # Importing the rule packs registers their rules.
+from repro.check import asyncrules as _asyncrules  # noqa: F401
+from repro.check import concurrency as _concurrency  # noqa: F401
 from repro.check import determinism as _determinism  # noqa: F401
 from repro.check import hotloop as _hotloop  # noqa: F401
 from repro.check import ns_exact as _ns_exact  # noqa: F401

@@ -1,0 +1,226 @@
+"""ASY rules: the event loop stays responsive and coroutine-clean.
+
+The analysis service (PRs 8–9) runs an asyncio loop in front of a
+ThreadPoolExecutor; the whole design holds only while nothing blocks
+the loop thread.  A single stray ``time.sleep`` — or a sync file read
+of a multi-GB trace — stalls every connected client and, worse for the
+paper's methodology, skews the service's own latency telemetry.
+
+* ``ASY001`` — a blocking call (``time.sleep``, sync file/socket IO,
+  ``subprocess``, ``Future.result()``, ``Thread.join`` ...) reachable
+  from an ``async def`` through sync call edges, without an executor
+  hop (``run_in_executor`` / ``asyncio.to_thread``) on the way;
+* ``ASY002`` — a project coroutine called but never awaited, stored,
+  or wrapped in a task: the body silently never runs;
+* ``ASY003`` — a coroutine writes state that threads also touch,
+  without holding the lock those threads use (loop confinement is the
+  asyncio substitute for locking — once broken, it *is* a data race).
+
+ASY001/ASY002 walk the call graph directly; ASY003 consumes the
+shared-state analysis from :mod:`repro.check.concurrency` so the same
+finding is never double-reported by both packs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.check.framework import (
+    REGISTRY,
+    ProjectRule,
+    Severity,
+    Violation,
+)
+from repro.check.callgraph import (
+    EXECUTOR_HOPS,
+    blocking_reason,
+    make_alias_resolver,
+)
+from repro.check.concurrency import (
+    _ctx_desc,
+    _short_fn,
+    _short_state,
+    shared_state_findings,
+)
+
+
+def _leaf(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+class _Resolvers:
+    """Per-module alias resolvers, built once per project pass."""
+
+    def __init__(self, graph: Any) -> None:
+        self.graph = graph
+        self._cache: Dict[str, Any] = {}
+
+    def __call__(self, modpath: str) -> Any:
+        if modpath not in self._cache:
+            self._cache[modpath] = make_alias_resolver(
+                self.graph.modules[modpath]
+            )
+        return self._cache[modpath]
+
+
+@REGISTRY.register
+class BlockingInAsyncRule(ProjectRule):
+    id = "ASY001"
+    name = "no-blocking-calls-on-the-loop"
+    severity = Severity.ERROR
+    hint = (
+        "hand the blocking work to a thread: "
+        "`await loop.run_in_executor(None, fn, ...)` or "
+        "`await asyncio.to_thread(fn, ...)`, or use the async API "
+        "(asyncio.sleep, aiofiles-style wrappers)"
+    )
+    rationale = (
+        "The loop is single-threaded: one blocking call freezes every "
+        "client and every timer, and inflates the service's own "
+        "latency telemetry — the exact perturbation this repo exists "
+        "to measure, self-inflicted."
+    )
+
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        graph = ctx.graph
+        resolvers = _Resolvers(graph)
+        for fid, fn in graph.iter_functions():
+            if not fn["is_async"]:
+                continue
+            modpath = fid.partition("::")[0]
+            path = graph.modules[modpath]["path"]
+            fname = _short_fn(fid)
+            res = resolvers(modpath)
+            for call in fn["calls"]:
+                if call["awaited"] or _leaf(call["name"]) in EXECUTOR_HOPS:
+                    continue
+                reason = blocking_reason(call, res)
+                if reason:
+                    yield self.violation_at(
+                        path, call["line"], call["col"],
+                        f"blocking call {call['name']}() [{reason}] "
+                        f"on the event loop in async def {fname}",
+                    )
+            # transitive: a sync call that reaches blocking code without
+            # an executor hop; anchored at the originating call site.
+            for call, target in graph.resolved_calls.get(fid, ()):
+                if call["awaited"] or _leaf(call["name"]) in EXECUTOR_HOPS:
+                    continue
+                callee = graph.function(target)
+                if callee is None or callee["is_async"]:
+                    continue
+                if blocking_reason(call, res):
+                    continue  # already reported as direct
+                hit = self._find_blocking(graph, resolvers, target)
+                if hit is None:
+                    continue
+                chain, bad_call, reason = hit
+                via = " -> ".join(_short_fn(f) for f in chain)
+                yield self.violation_at(
+                    path, call["line"], call["col"],
+                    f"call {call['name']}() in async def {fname} "
+                    f"reaches blocking {bad_call['name']}() [{reason}] "
+                    f"via {via}",
+                )
+
+    @staticmethod
+    def _find_blocking(
+        graph: Any, resolvers: "_Resolvers", start: str
+    ) -> Optional[Tuple[List[str], Dict[str, Any], str]]:
+        """BFS through sync edges to the nearest blocking call site."""
+        parent: Dict[str, Optional[str]] = {start: None}
+        queue = [start]
+        while queue:
+            cur = queue.pop(0)
+            fn = graph.function(cur)
+            if fn is None:
+                continue
+            res = resolvers(cur.partition("::")[0])
+            for call in fn["calls"]:
+                if call["awaited"] or _leaf(call["name"]) in EXECUTOR_HOPS:
+                    continue
+                reason = blocking_reason(call, res)
+                if reason:
+                    chain: List[str] = []
+                    walk: Optional[str] = cur
+                    while walk is not None:
+                        chain.append(walk)
+                        walk = parent[walk]
+                    chain.reverse()
+                    return chain, call, reason
+            for call, target in graph.resolved_calls.get(cur, ()):
+                if call["awaited"] or _leaf(call["name"]) in EXECUTOR_HOPS:
+                    continue
+                callee = graph.function(target)
+                if callee is None or callee["is_async"]:
+                    continue
+                if target not in parent:
+                    parent[target] = cur
+                    queue.append(target)
+        return None
+
+
+@REGISTRY.register
+class UnawaitedCoroutineRule(ProjectRule):
+    id = "ASY002"
+    name = "coroutines-are-awaited"
+    severity = Severity.ERROR
+    hint = (
+        "await it; or if it should run concurrently, keep a handle: "
+        "`task = asyncio.create_task(coro())`"
+    )
+    rationale = (
+        "Calling a coroutine function only builds the coroutine "
+        "object; discarding it means the body never executes — the "
+        "call silently does nothing except emit a RuntimeWarning at "
+        "GC time, long after the evidence is gone."
+    )
+
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        graph = ctx.graph
+        for fid, fn in graph.iter_functions():
+            modpath = fid.partition("::")[0]
+            path = graph.modules[modpath]["path"]
+            for call, target in graph.resolved_calls.get(fid, ()):
+                callee = graph.function(target)
+                if callee is None or not callee["is_async"]:
+                    continue
+                if call["awaited"] or call["task_arg"]:
+                    continue
+                if not call["discarded"]:
+                    continue  # stored: may be awaited/gathered later
+                yield self.violation_at(
+                    path, call["line"], call["col"],
+                    f"coroutine {call['name']}() is never awaited "
+                    f"(result discarded)",
+                )
+
+
+@REGISTRY.register
+class LoopConfinementRule(ProjectRule):
+    id = "ASY003"
+    name = "coroutine-state-stays-loop-confined"
+    severity = Severity.ERROR
+    hint = (
+        "confine the state to the loop thread and cross over with "
+        "loop.call_soon_threadsafe(...), or take the same lock the "
+        "threads use (briefly — never across an await)"
+    )
+    rationale = (
+        "Coroutines may skip locks only while their state is touched "
+        "by the loop thread alone; once a worker thread shares it, "
+        "the unlocked coroutine write is an ordinary data race."
+    )
+
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        for f in shared_state_findings(ctx):
+            if not f["is_async"]:
+                continue  # CON001 territory
+            state = _short_state(f["state"])
+            verb = "iterates" if f["kind"] == "iterate" else "writes"
+            yield self.violation_at(
+                f["path"], f["line"], f["col"],
+                f"coroutine {_short_fn(f['fid'])} {verb} shared state "
+                f"{state} without the lock other contexts use "
+                f"(contexts: {_ctx_desc(f['ctxs'])})",
+            )

@@ -1,0 +1,423 @@
+"""CON rules: cross-thread discipline over the project call graph.
+
+PRs 3–9 grew real concurrency — the Sampler daemon thread, the service
+loop over a ThreadPoolExecutor, the locked MetricsRegistry, ShardedStore
+under 8-way contention — and both concurrency bugs fixed in PR 9
+(ShardedStore evict/clear TOCTOU, Sampler atexit+SIGTERM double-stop)
+were found by hand.  These rules mechanize that audit on top of
+:mod:`repro.check.callgraph`:
+
+* ``CON001`` — mutable state reachable from two execution contexts
+  (main thread, a ``Thread(target=...)``, a pool worker) written or
+  iterated outside any lock the other accessors share;
+* ``CON002`` — ``lock.acquire()`` / ``lock.release()`` not via ``with``
+  (exception paths leak the lock; try-locks with ``blocking=False`` are
+  exempt);
+* ``CON003`` — two locks acquired in both orders somewhere in the
+  project (the classic AB/BA deadlock);
+* ``CON004`` — a ``signal``/``atexit`` handler that can acquire a lock
+  or block: a signal frame can interrupt the very thread holding that
+  lock.
+
+The shared-state analysis is also the substrate for ``ASY003``
+(:mod:`repro.check.asyncrules`): a flagged access inside an ``async
+def`` is an event-loop confinement bug, not a thread bug, and is routed
+there so each finding has exactly one rule id.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.check.framework import (
+    REGISTRY,
+    ProjectRule,
+    Severity,
+    Violation,
+)
+from repro.check.callgraph import (
+    MAIN_CTX,
+    _is_global_lock,
+    blocking_reason,
+    make_alias_resolver,
+)
+
+#: Container kinds whose unlocked iteration races with a concurrent
+#: mutator (``RuntimeError: dictionary changed size during iteration``
+#: at best, silently skipped entries at worst).
+_ITER_RACY_KINDS = frozenset({"dict", "set"})
+
+
+def _short_state(key: str) -> str:
+    """``repro/obs/metrics.py::MetricsRegistry._series`` -> readable."""
+    return key.partition("::")[2] or key
+
+
+def _short_fn(fid: str) -> str:
+    return fid.partition("::")[2]
+
+
+def _ctx_desc(ctxs: Set[str]) -> str:
+    """Readable summary of execution contexts, most interesting first."""
+    ordered = sorted(ctxs, key=lambda c: (c == MAIN_CTX, c))
+    return ", ".join(ordered[:3]) + (", ..." if len(ordered) > 3 else "")
+
+
+def _state_kind(graph: Any, key: str) -> str:
+    """Container kind ('dict'/'list'/'set'/'scalar'/'') of a state key."""
+    mod, _, rest = key.partition("::")
+    summary = graph.modules.get(mod)
+    if summary is None:
+        return ""
+    if "." in rest:
+        cname, attr = rest.split(".", 1)
+        info = summary["classes"].get(cname)
+        return str(info["attr_kinds"].get(attr, "")) if info else ""
+    glob = summary["globals"].get(rest)
+    return str(glob.get("kind", "")) if glob else ""
+
+
+def _shared_types(graph: Any) -> Set[str]:
+    """Class types whose instances are visible to >= 2 contexts.
+
+    Seeds: module-level instance globals (singletons) and classes that
+    hand one of their own bound methods to a thread/pool root (the
+    instance itself crosses the thread boundary).  Closure: any class
+    reachable from a shared class through a typed attribute is shared
+    too (``self._store: ShardedStore`` on a shared service object).
+    """
+    shared: Set[str] = set()
+    for summary in graph.modules.values():
+        for glob in summary["globals"].values():
+            typ = str(glob.get("type", ""))
+            if typ in graph.classes:
+                shared.add(typ)
+    for fid, fn in graph.iter_functions():
+        if not fn["cls"]:
+            continue
+        modpath = fid.partition("::")[0]
+        dotted = graph.modules[modpath].get("dotted") or modpath
+        for root in fn["roots"]:
+            if root["kind"] in ("thread", "pool") and str(
+                root["target"]
+            ).startswith("self."):
+                shared.add(f"{dotted}.{fn['cls']}")
+    work = list(shared)
+    while work:
+        typ = work.pop()
+        info = graph.classes.get(typ)
+        if info is None:
+            continue
+        for attr_type in info["attr_types"].values():
+            if attr_type in graph.classes and attr_type not in shared:
+                shared.add(attr_type)
+                work.append(attr_type)
+    return shared
+
+
+def shared_state_findings(ctx: Any) -> List[Dict[str, Any]]:
+    """Unprotected accesses to cross-context state, memoized per run.
+
+    Each finding: ``{"fid", "path", "line", "col", "kind", "state",
+    "state_kind", "is_async", "ctxs"}``.  ``kind`` is ``"write"`` or
+    ``"iterate"``.  CON001 reports the sync ones, ASY003 the async ones.
+    """
+    cached = getattr(ctx, "_shared_state_findings", None)
+    if cached is not None:
+        return cached
+
+    graph = ctx.graph
+    shared = _shared_types(graph)
+
+    # Bucket every resolvable access by canonical state key.
+    by_state: Dict[str, List[Dict[str, Any]]] = {}
+    for fid, fn in graph.iter_functions():
+        if fn["name"] == "<module>":
+            continue  # module body runs at import time, pre-concurrency
+        modpath = fid.partition("::")[0]
+        ctxs = graph.contexts.get(fid) or {MAIN_CTX}
+        in_init = fn["cls"] and fn["name"].endswith(".__init__")
+        for access in fn["accesses"]:
+            key = graph.resolve_state(modpath, fn, access)
+            if key is None:
+                continue
+            if in_init and key.startswith(f"{modpath}::{fn['cls']}."):
+                # Constructor writes to own attributes precede any
+                # escape of the instance: no concurrent observer yet.
+                continue
+            mod, _, rest = key.partition("::")
+            if "." in rest:
+                summary = graph.modules.get(mod)
+                if summary is None:
+                    continue
+                dotted = summary.get("dotted") or mod
+                cname = rest.split(".", 1)[0]
+                if f"{dotted}.{cname}" not in shared:
+                    continue  # per-thread instance: no cross-context view
+            by_state.setdefault(key, []).append({
+                "fid": fid, "fn": fn, "modpath": modpath,
+                "access": access, "ctxs": ctxs,
+            })
+
+    findings: List[Dict[str, Any]] = []
+    for key, entries in sorted(by_state.items()):
+        mutators = [
+            e for e in entries
+            if e["access"]["kind"] in ("write", "append")
+        ]
+        if not mutators:
+            continue  # read-only shared state is safe
+        union_ctxs: Set[str] = set()
+        for e in entries:
+            union_ctxs |= e["ctxs"]
+        racing = len(union_ctxs) >= 2 or any(
+            c.startswith("pool:") for c in union_ctxs
+        )
+        if not racing:
+            continue
+        state_kind = _state_kind(graph, key)
+        # The locks anybody mutating/iterating this state ever holds:
+        # an access holding none of them has no happens-before edge.
+        lock_usage: Set[str] = set()
+        for e in entries:
+            if e["access"]["kind"] in ("write", "append", "iterate"):
+                lock_usage |= {
+                    lk for lk in e["access"]["locks"]
+                    if _is_global_lock(lk)
+                }
+        flagged: Set[Tuple[str, str]] = set()  # one per (fid, state)
+        for e in entries:
+            kind = e["access"]["kind"]
+            if kind == "write":
+                pass
+            elif kind == "iterate":
+                if state_kind not in _ITER_RACY_KINDS:
+                    continue
+                if all(m is e for m in mutators):
+                    continue  # nothing else mutates it
+            else:
+                continue  # reads and atomic appends stay quiet
+            held = {
+                lk for lk in e["access"]["locks"] if _is_global_lock(lk)
+            }
+            if held & lock_usage:
+                continue  # holds a lock the other accessors share
+            group = (e["fid"], key)
+            if group in flagged:
+                continue
+            flagged.add(group)
+            findings.append({
+                "fid": e["fid"],
+                "path": graph.modules[e["modpath"]]["path"],
+                "line": e["access"]["line"],
+                "col": e["access"]["col"],
+                "kind": kind,
+                "state": key,
+                "state_kind": state_kind,
+                "is_async": bool(e["fn"]["is_async"]),
+                "ctxs": union_ctxs,
+            })
+    findings.sort(key=lambda f: (f["path"], f["line"], f["col"]))
+    ctx._shared_state_findings = findings
+    return findings
+
+
+@REGISTRY.register
+class UnlockedSharedStateRule(ProjectRule):
+    id = "CON001"
+    name = "no-unlocked-shared-state"
+    severity = Severity.ERROR
+    hint = (
+        "guard every cross-thread access with the same lock "
+        "(`with self._lock:`), snapshot under the lock before "
+        "iterating, or confine the state to one thread"
+    )
+    rationale = (
+        "State reachable from two execution contexts with any access "
+        "path outside a common lock is a data race; in the measurement "
+        "stack that reads as corrupted counters and phantom noise, "
+        "which no amount of ns-exact arithmetic downstream can undo."
+    )
+
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        for f in shared_state_findings(ctx):
+            if f["is_async"]:
+                continue  # ASY003 territory
+            state = _short_state(f["state"])
+            if f["kind"] == "iterate":
+                message = (
+                    f"iterating shared {f['state_kind']} {state} "
+                    f"without the lock its writers use "
+                    f"(contexts: {_ctx_desc(f['ctxs'])})"
+                )
+            else:
+                message = (
+                    f"unlocked write to shared state {state} "
+                    f"(contexts: {_ctx_desc(f['ctxs'])})"
+                )
+            yield self.violation_at(
+                f["path"], f["line"], f["col"], message,
+            )
+
+
+@REGISTRY.register
+class BareLockOpRule(ProjectRule):
+    id = "CON002"
+    name = "locks-are-held-via-with"
+    severity = Severity.ERROR
+    hint = (
+        "use `with lock:` so every exit path releases; a deliberate "
+        "try-lock (`acquire(blocking=False)`) is exempt"
+    )
+    rationale = (
+        "A bare acquire/release pair leaks the lock on any exception "
+        "path between them, freezing every other thread that touches "
+        "the same state — observed as the run hanging, not crashing."
+    )
+
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        graph = ctx.graph
+        for fid, fn in graph.iter_functions():
+            modpath = fid.partition("::")[0]
+            path = graph.modules[modpath]["path"]
+            for op in fn["lock_ops"]:
+                if op["with"]:
+                    continue
+                if op["op"] == "acquire" and not op.get("blocking", True):
+                    continue  # try-lock idiom
+                lock = _short_state(op["lock"]).split("::")[-1]
+                yield self.violation_at(
+                    path, op["line"], op["col"],
+                    f"bare {op['op']}() on {lock} outside a with block",
+                )
+
+
+@REGISTRY.register
+class LockOrderRule(ProjectRule):
+    id = "CON003"
+    name = "consistent-lock-order"
+    severity = Severity.ERROR
+    hint = (
+        "pick one global acquisition order for the two locks and "
+        "document it where the locks are defined"
+    )
+    rationale = (
+        "Two locks taken in both orders anywhere in the project is a "
+        "latent AB/BA deadlock; it only needs the right interleaving "
+        "once, typically under load, typically in CI at 3am."
+    )
+
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        graph = ctx.graph
+        acq = graph.transitive_acquires()
+        #: (outer, inner) -> first witness {"path", "line", "col", "fid"}
+        ordered: Dict[Tuple[str, str], Dict[str, Any]] = {}
+
+        def record(outer: str, inner: str, modpath: str,
+                   line: int, col: int, fid: str) -> None:
+            if outer == inner:
+                return
+            if not (_is_global_lock(outer) and _is_global_lock(inner)):
+                return
+            ordered.setdefault((outer, inner), {
+                "path": graph.modules[modpath]["path"],
+                "line": line, "col": col, "fid": fid,
+            })
+
+        for fid, fn in graph.iter_functions():
+            modpath = fid.partition("::")[0]
+            for op in fn["lock_ops"]:
+                if op["op"] != "acquire":
+                    continue
+                for held in op["held"]:
+                    record(held, op["lock"], modpath,
+                           op["line"], op["col"], fid)
+            # call-carried: a call made under lock A into a function
+            # that (transitively) acquires lock B orders A before B.
+            for call, target in graph.resolved_calls.get(fid, ()):
+                if not call["locks"]:
+                    continue
+                for inner in sorted(acq.get(target, ())):
+                    for held in call["locks"]:
+                        record(held, inner, modpath,
+                               call["line"], call["col"], fid)
+
+        for (a, b), witness in sorted(ordered.items()):
+            if a > b or (b, a) not in ordered:
+                continue
+            other = ordered[(b, a)]
+            pa, pb = _short_state(a), _short_state(b)
+            yield self.violation_at(
+                witness["path"], witness["line"], witness["col"],
+                f"inconsistent lock order: {pa} -> {pb} here, but "
+                f"{pb} -> {pa} in {_short_fn(other['fid'])} "
+                f"({other['path']}:{other['line']})",
+            )
+
+
+@REGISTRY.register
+class HandlerReentrancyRule(ProjectRule):
+    id = "CON004"
+    name = "handlers-stay-reentrant"
+    severity = Severity.ERROR
+    hint = (
+        "keep signal/atexit handlers lock-free: set a flag the main "
+        "loop polls, or route through loop.add_signal_handler; if the "
+        "handler must stop machinery, make the stop idempotent and "
+        "non-blocking"
+    )
+    rationale = (
+        "A signal frame runs on top of an arbitrary bytecode boundary "
+        "— possibly inside the very critical section its handler then "
+        "tries to enter (the Sampler atexit+SIGTERM double-stop in "
+        "PR 9 was exactly this class of bug)."
+    )
+
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        graph = ctx.graph
+        resolvers: Dict[str, Any] = {}
+
+        def resolver(modpath: str) -> Any:
+            if modpath not in resolvers:
+                resolvers[modpath] = make_alias_resolver(
+                    graph.modules[modpath]
+                )
+            return resolvers[modpath]
+
+        for fid, root, target in graph.iter_roots():
+            if root["kind"] not in ("signal", "atexit"):
+                continue
+            if target is None:
+                continue
+            hazard = self._first_hazard(graph, resolver, target)
+            if hazard is None:
+                continue
+            modpath = fid.partition("::")[0]
+            where, what = hazard
+            yield self.violation_at(
+                graph.modules[modpath]["path"],
+                root["line"], root["col"],
+                f"{root['kind']} handler {root['target']} {what} "
+                f"(in {_short_fn(where)})",
+            )
+
+    @staticmethod
+    def _first_hazard(
+        graph: Any, resolver: Any, target: str
+    ) -> Optional[Tuple[str, str]]:
+        """First (fid, description) lock/blocking hazard reachable."""
+        for fid in graph.reachable_sync(target):
+            fn = graph.function(fid)
+            if fn is None:
+                continue
+            modpath = fid.partition("::")[0]
+            for op in fn["lock_ops"]:
+                if op["op"] == "acquire" and _is_global_lock(op["lock"]):
+                    lock = _short_state(op["lock"])
+                    return fid, f"can acquire lock {lock}"
+            res = resolver(modpath)
+            for call in fn["calls"]:
+                reason = blocking_reason(call, res)
+                if reason:
+                    return fid, f"can block in {call['name']}() [{reason}]"
+        return None

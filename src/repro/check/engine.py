@@ -1,15 +1,26 @@
 """Drive the registered rules over a file set and account for pragmas.
 
-The engine walks the given paths for ``*.py`` files, parses each once into
-a :class:`~repro.check.framework.SourceFile`, runs every applicable rule,
-then applies suppression pragmas.  Pragma hygiene is checked here rather
-than in a rule pack because it must see the post-suppression state:
+The engine is split into two phases so whole-project analysis stays
+incremental:
 
-* ``NL001`` (error): a ``disable`` pragma with no ``-- reason`` string;
-* ``NL002`` (error): a pragma naming an unknown rule id;
-* ``NL003`` (warning): a pragma that suppressed nothing (stale after a
-  refactor — delete it so real violations cannot hide behind it);
-* ``NL004`` (error): a file that does not parse at all.
+* the **per-file phase** (:func:`analyze_source`) parses one file, runs
+  every per-file rule and every registered fact extractor, and folds the
+  outcome into a serializable :class:`~repro.check.framework.FileRecord`.
+  This phase never sees ``--select``/``--ignore`` — records are
+  filter-independent, which is what lets the incremental driver
+  (:mod:`repro.check.incremental`) cache them by content hash and farm
+  them out to worker processes.
+
+* the **project phase** (:func:`run_project`) consumes records only: it
+  applies rule selection, runs the :class:`ProjectRule` packs over a
+  shared :class:`ProjectContext` (memoized call graph + trace
+  vocabulary), applies suppression pragmas and checks pragma hygiene:
+
+  - ``NL001`` (error): a ``disable`` pragma with no ``-- reason`` string;
+  - ``NL002`` (error): a pragma naming an unknown rule id;
+  - ``NL003`` (warning): a pragma that suppressed nothing (stale after a
+    refactor — delete it so real violations cannot hide behind it);
+  - ``NL004`` (error): a file that does not parse at all.
 """
 
 from __future__ import annotations
@@ -19,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.check.framework import (
+    FACT_EXTRACTORS,
+    FileRecord,
     REGISTRY,
     ProjectRule,
     Severity,
@@ -41,6 +54,9 @@ class CheckResult:
     violations: List[Violation] = field(default_factory=list)
     suppressed: List[Violation] = field(default_factory=list)
     files_checked: int = 0
+    #: incremental-driver accounting (0/0 for plain in-memory runs)
+    files_reused: int = 0
+    files_analyzed: int = 0
 
     @property
     def errors(self) -> int:
@@ -58,6 +74,42 @@ class CheckResult:
     def failed(self) -> bool:
         """INFO findings never fail a run; warnings and errors do."""
         return self.errors > 0 or self.warnings > 0
+
+
+class ProjectContext:
+    """Everything the project phase shares across rules, built lazily.
+
+    ``records`` excludes nothing; ``parsed`` drops files with parse
+    errors (project rules only see valid facts).  The call graph and the
+    trace vocabulary are each built at most once per run.
+    """
+
+    def __init__(self, records: Sequence[FileRecord]) -> None:
+        self.records: List[FileRecord] = list(records)
+        self.parsed: List[FileRecord] = [
+            r for r in self.records if r.parse_error is None
+        ]
+        self._graph = None
+        self._vocab = None
+
+    @property
+    def graph(self):
+        if self._graph is None:
+            from repro.check.callgraph import CallGraph
+
+            self._graph = CallGraph(
+                r.facts["callgraph"] for r in self.parsed
+                if "callgraph" in r.facts
+            )
+        return self._graph
+
+    @property
+    def vocab(self):
+        if self._vocab is None:
+            from repro.check.schema import load_vocabulary
+
+            self._vocab = load_vocabulary(self.parsed)
+        return self._vocab
 
 
 def discover_files(paths: Sequence[str]) -> List[str]:
@@ -89,71 +141,87 @@ def load_files(paths: Sequence[str]) -> List[SourceFile]:
     return sources
 
 
-def run_check(
-    paths: Sequence[str],
+def analyze_source(src: SourceFile) -> FileRecord:
+    """The per-file phase: rules + facts for one parsed source file."""
+    record = FileRecord(
+        path=src.path, modpath=src.modpath, pragmas=src.pragmas
+    )
+    if src.parse_error is not None:
+        record.parse_error = {
+            "line": src.parse_error.lineno or 1,
+            "col": (src.parse_error.offset or 1) - 1,
+            "msg": src.parse_error.msg,
+        }
+        return record
+    for rule in REGISTRY:
+        if isinstance(rule, ProjectRule):
+            continue
+        if rule.applies_to(src):
+            record.violations.extend(rule.check(src))
+    record.violations.sort(key=lambda v: (v.line, v.rule, v.col))
+    for name, extract in sorted(FACT_EXTRACTORS.items()):
+        record.facts[name] = extract(src)
+    return record
+
+
+def run_project(
+    records: Sequence[FileRecord],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
-    sources: Optional[Sequence[SourceFile]] = None,
 ) -> CheckResult:
-    """Run every registered rule over ``paths``.
-
-    ``select``/``ignore`` restrict the rule set by id (pragma hygiene runs
-    regardless).  ``sources`` bypasses file discovery for tests.
-    """
+    """The project phase: selection, project rules, suppression, hygiene."""
     selected = {r.upper() for r in select} if select else None
     ignored = {r.upper() for r in ignore} if ignore else set()
-    if sources is None:
-        sources = load_files(paths)
-    sources = [
-        s for s in sources if s.modpath not in EXCLUDED_MODPATHS
+    records = [
+        r for r in records if r.modpath not in EXCLUDED_MODPATHS
     ]
-    result = CheckResult(files_checked=len(sources))
+    result = CheckResult(files_checked=len(records))
+
+    def wanted(rule_id: str) -> bool:
+        return (
+            selected is None or rule_id in selected
+        ) and rule_id not in ignored
 
     raw: List[Violation] = []
-    rules = [
-        r for r in REGISTRY
-        if (selected is None or r.id in selected) and r.id not in ignored
-    ]
-    for src in sources:
-        if src.parse_error is not None:
+    for record in records:
+        if record.parse_error is not None:
             raw.append(Violation(
                 rule="NL004",
                 severity=Severity.ERROR,
-                path=src.path,
-                line=src.parse_error.lineno or 1,
-                col=(src.parse_error.offset or 1) - 1,
-                message=f"file does not parse: {src.parse_error.msg}",
+                path=record.path,
+                line=record.parse_error["line"],
+                col=record.parse_error["col"],
+                message=(
+                    f"file does not parse: {record.parse_error['msg']}"
+                ),
                 hint="noiselint needs valid Python to check contracts",
             ))
             continue
-        for rule in rules:
-            if isinstance(rule, ProjectRule):
-                continue
-            if rule.applies_to(src):
-                raw.extend(rule.check(src))
-    parsed = [s for s in sources if s.parse_error is None]
-    for rule in rules:
-        if isinstance(rule, ProjectRule):
-            raw.extend(rule.check_project(parsed))
+        raw.extend(v for v in record.violations if wanted(v.rule))
+
+    ctx = ProjectContext(records)
+    for rule in REGISTRY:
+        if isinstance(rule, ProjectRule) and wanted(rule.id):
+            raw.extend(rule.check_records(ctx))
 
     # Suppression pass: a violation survives unless a justified pragma on
     # its line (or a file-level pragma) names its rule.
-    by_path = {s.path: s for s in sources}
+    by_path = {r.path: r for r in records}
     for violation in raw:
-        src = by_path.get(violation.path)
-        if src is not None and src.suppresses(violation) is not None:
+        record = by_path.get(violation.path)
+        if record is not None and record.suppresses(violation) is not None:
             result.suppressed.append(violation)
         else:
             result.violations.append(violation)
 
     # Pragma hygiene (never suppressible — these are about the pragmas).
-    for src in sources:
-        for pragma in src.pragmas:
+    for record in records:
+        for pragma in record.pragmas:
             if not pragma.reason:
                 result.violations.append(Violation(
                     rule="NL001",
                     severity=Severity.ERROR,
-                    path=src.path,
+                    path=record.path,
                     line=pragma.line,
                     col=0,
                     message=f"suppression without a reason: {pragma.raw!r}",
@@ -164,7 +232,7 @@ def run_check(
                     result.violations.append(Violation(
                         rule="NL002",
                         severity=Severity.ERROR,
-                        path=src.path,
+                        path=record.path,
                         line=pragma.line,
                         col=0,
                         message=f"pragma names unknown rule {rule_id}",
@@ -177,7 +245,7 @@ def run_check(
                 result.violations.append(Violation(
                     rule="NL003",
                     severity=Severity.WARNING,
-                    path=src.path,
+                    path=record.path,
                     line=pragma.line,
                     col=0,
                     message=(
@@ -190,3 +258,22 @@ def run_check(
     result.violations.sort(key=lambda v: (v.path, v.line, v.rule))
     result.suppressed.sort(key=lambda v: (v.path, v.line, v.rule))
     return result
+
+
+def run_check(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    sources: Optional[Sequence[SourceFile]] = None,
+) -> CheckResult:
+    """Run every registered rule over ``paths``.
+
+    ``select``/``ignore`` restrict the rule set by id (pragma hygiene runs
+    regardless).  ``sources`` bypasses file discovery for tests.  This is
+    the plain in-memory path; the CLI goes through
+    :func:`repro.check.incremental.lint_paths` for caching and ``--jobs``.
+    """
+    if sources is None:
+        sources = load_files(paths)
+    records = [analyze_source(src) for src in sources]
+    return run_project(records, select=select, ignore=ignore)

@@ -24,7 +24,16 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 
 class Severity(IntEnum):
@@ -53,6 +62,29 @@ class Violation:
     def key(self) -> Tuple[str, int, str]:
         return (self.path, self.line, self.rule)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": int(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            hint=data.get("hint", ""),
+        )
+
 
 #: Pragmas must be real comments (docstrings don't count) and must start
 #: the comment, e.g. ``x = f()  # noiselint: disable=DET001 -- reason``.
@@ -80,6 +112,26 @@ class Pragma:
     reason: str
     raw: str
     used: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        # `used` is per-run state, not a property of the source file
+        return {
+            "line": self.line,
+            "kind": self.kind,
+            "rules": list(self.rules),
+            "reason": self.reason,
+            "raw": self.raw,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Pragma":
+        return cls(
+            line=data["line"],
+            kind=data["kind"],
+            rules=tuple(data["rules"]),
+            reason=data["reason"],
+            raw=data["raw"],
+        )
 
 
 class SourceFile:
@@ -139,26 +191,33 @@ class SourceFile:
     # ------------------------------------------------------------------
     def suppresses(self, violation: Violation) -> Optional[Pragma]:
         """The pragma suppressing ``violation``, if any (marks it used)."""
-        for pragma in self.pragmas:
-            if not pragma.reason:
-                continue  # bare pragmas never suppress; NL001 flags them
-            hit = (
-                pragma.kind == "disable" and pragma.line == violation.line
-            ) or (
-                pragma.kind == "disable-file"
-                and pragma.line <= _FILE_PRAGMA_WINDOW
-            )
-            if hit and (
-                "ALL" in pragma.rules or violation.rule in pragma.rules
-            ):
-                pragma.used = True
-                return pragma
-        return None
+        return find_suppression(self.pragmas, violation)
 
     def walk(self) -> Iterator[ast.AST]:
         if self.tree is None:
             return iter(())
         return ast.walk(self.tree)
+
+
+def find_suppression(
+    pragmas: Iterable[Pragma], violation: Violation
+) -> Optional[Pragma]:
+    """The pragma suppressing ``violation``, if any (marks it used)."""
+    for pragma in pragmas:
+        if not pragma.reason:
+            continue  # bare pragmas never suppress; NL001 flags them
+        hit = (
+            pragma.kind == "disable" and pragma.line == violation.line
+        ) or (
+            pragma.kind == "disable-file"
+            and pragma.line <= _FILE_PRAGMA_WINDOW
+        )
+        if hit and (
+            "ALL" in pragma.rules or violation.rule in pragma.rules
+        ):
+            pragma.used = True
+            return pragma
+    return None
 
 
 def _modpath(path: str) -> str:
@@ -168,6 +227,84 @@ def _modpath(path: str) -> str:
         if parts[i] == "repro":
             return "/".join(parts[i:])
     return "/".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Per-file analysis records and fact extractors
+# ----------------------------------------------------------------------
+
+#: Named extractors run once per file during the per-file phase; their
+#: output lands in ``FileRecord.facts[name]`` and must be plain JSON data
+#: (the incremental cache serializes records wholesale).  Project rules
+#: consume facts instead of re-parsing sources — that is what makes warm
+#: runs cheap.
+FACT_EXTRACTORS: Dict[str, Callable[[SourceFile], Dict[str, Any]]] = {}
+
+
+def fact_extractor(
+    name: str,
+) -> Callable[[Callable[[SourceFile], Dict[str, Any]]],
+              Callable[[SourceFile], Dict[str, Any]]]:
+    """Register a per-file fact extractor under ``name``."""
+
+    def register(
+        fn: Callable[[SourceFile], Dict[str, Any]]
+    ) -> Callable[[SourceFile], Dict[str, Any]]:
+        if name in FACT_EXTRACTORS:
+            raise ValueError(f"duplicate fact extractor {name}")
+        FACT_EXTRACTORS[name] = fn
+        return fn
+
+    return register
+
+
+@dataclass
+class FileRecord:
+    """Everything the project phase needs to know about one file.
+
+    Records are the unit of caching: serializable, independent of the
+    ``--select``/``--ignore`` filters (those apply later), and carrying
+    both the per-file rule verdicts and the extracted facts."""
+
+    path: str
+    modpath: str
+    sha: str = ""
+    parse_error: Optional[Dict[str, Any]] = None  # {line, col, msg}
+    pragmas: List[Pragma] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    facts: Dict[str, Any] = field(default_factory=dict)
+    #: intra-project modpaths this file imports (for cache invalidation)
+    imports: List[str] = field(default_factory=list)
+
+    def suppresses(self, violation: Violation) -> Optional[Pragma]:
+        return find_suppression(self.pragmas, violation)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "modpath": self.modpath,
+            "sha": self.sha,
+            "parse_error": self.parse_error,
+            "pragmas": [p.to_dict() for p in self.pragmas],
+            "violations": [v.to_dict() for v in self.violations],
+            "facts": self.facts,
+            "imports": list(self.imports),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FileRecord":
+        return cls(
+            path=data["path"],
+            modpath=data["modpath"],
+            sha=data.get("sha", ""),
+            parse_error=data.get("parse_error"),
+            pragmas=[Pragma.from_dict(p) for p in data.get("pragmas", [])],
+            violations=[
+                Violation.from_dict(v) for v in data.get("violations", [])
+            ],
+            facts=data.get("facts", {}),
+            imports=list(data.get("imports", [])),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -209,27 +346,49 @@ class Rule:
         hint: Optional[str] = None,
         severity: Optional[Severity] = None,
     ) -> Violation:
+        return self.violation_at(
+            src.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+            hint=hint,
+            severity=severity,
+        )
+
+    def violation_at(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        hint: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Violation:
+        """Build a violation from a plain location (fact-based rules)."""
         return Violation(
             rule=self.id,
             severity=self.severity if severity is None else severity,
-            path=src.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
+            path=path,
+            line=line,
+            col=col,
             message=message,
             hint=self.hint if hint is None else hint,
         )
 
 
 class ProjectRule(Rule):
-    """A whole-project check (cross-file consistency).  ``check_project``
-    receives every scanned file; per-file ``check`` is unused."""
+    """A whole-project check (cross-file consistency).
+
+    ``check_records`` receives a project context over every scanned
+    file's :class:`FileRecord` (``ctx.records``, plus memoized views such
+    as ``ctx.graph`` and ``ctx.vocab`` — see ``engine.ProjectContext``).
+    Project rules consume extracted facts only; they run fresh on every
+    check while the per-file phase behind the facts is cached."""
 
     def check(self, src: SourceFile) -> Iterable[Violation]:
         return ()
 
-    def check_project(
-        self, files: Sequence[SourceFile]
-    ) -> Iterable[Violation]:
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
         raise NotImplementedError
 
 

@@ -18,17 +18,16 @@ checkable:
 from __future__ import annotations
 
 import ast
-import re
-from typing import Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.check.framework import (
     REGISTRY,
+    ProjectRule,
     Rule,
     Severity,
     SourceFile,
     Violation,
     call_name,
-    iter_loops,
 )
 
 #: The modules PR 2 made columnar: per-row Python iteration is forbidden.
@@ -43,9 +42,6 @@ ACTIVITY_COLUMNS = frozenset({
     "event", "cpu", "pid", "start", "end", "total_ns", "self_ns",
     "depth", "arg", "category", "is_noise", "truncated", "displaced_pid",
 })
-
-_HOT_MARK_RE = re.compile(r"#\s*hot\b")
-
 
 def _is_column_subscript(node: ast.AST) -> bool:
     """``<x>.data["col"]`` or ``<name>["col"]`` for an activity column."""
@@ -120,8 +116,32 @@ class ColumnarLoopRule(Rule):
                     )
 
 
+#: Modules whose code *is* the obs layer: reaching any function defined
+#: here from inside a ``# hot`` loop defeats the one-branch-per-window
+#: contract, whatever the call was spelled as at the loop site.
+_OBS_MODPATH_PREFIX = "repro/obs/"
+
+
+def _is_sampler_name(name: str) -> bool:
+    """``sample_now()`` / ``SAMPLER.sample_now()`` / ``sampler.*``."""
+    last = name.rsplit(".", 1)[-1]
+    if last in ("sample_now", "maybe_start_worker_sampler"):
+        return True
+    root = name.split(".", 1)[0].lower()
+    return "sampler" in root
+
+
+def _obs_call_kind(name: str) -> Optional[str]:
+    """'obs' / 'sampler' when ``name`` is a raw obs-layer call, else None."""
+    if name == "obs" or name.startswith("obs."):
+        return "obs"
+    if _is_sampler_name(name):
+        return "sampler"
+    return None
+
+
 @REGISTRY.register
-class ObsInHotLoopRule(Rule):
+class ObsInHotLoopRule(ProjectRule):
     id = "HOT002"
     name = "no-obs-in-hot-loops"
     severity = Severity.ERROR
@@ -135,46 +155,79 @@ class ObsInHotLoopRule(Rule):
     rationale = (
         "The obs layer's disabled cost is one branch per *window*, not "
         "per event; any obs call inside a # hot loop breaks the <2% "
-        "overhead guarantee.  Sampler calls are worse still: sample_now "
-        "walks every live series under the registry lock."
+        "overhead guarantee — including one hidden behind a helper, "
+        "which is why the check walks the call graph.  Sampler calls "
+        "are worse still: sample_now walks every live series under the "
+        "registry lock."
     )
 
-    @staticmethod
-    def _is_sampler_call(name: str) -> bool:
-        """``sample_now()`` / ``SAMPLER.sample_now()`` / ``sampler.*``."""
-        last = name.rsplit(".", 1)[-1]
-        if last in ("sample_now", "maybe_start_worker_sampler"):
-            return True
-        root = name.split(".", 1)[0].lower()
-        return "sampler" in root
-
-    def _is_hot(self, src: SourceFile, loop: ast.AST) -> bool:
-        lineno = getattr(loop, "lineno", 0)
-        for candidate in (lineno, lineno - 1):
-            if 1 <= candidate <= len(src.lines) and _HOT_MARK_RE.search(
-                src.lines[candidate - 1]
-            ):
-                return True
-        return False
-
-    def check(self, src: SourceFile) -> Iterable[Violation]:
-        if "# hot" not in src.text:
-            return
-        for loop in iter_loops(src.tree):
-            if not self._is_hot(src, loop):
-                continue
-            for node in ast.walk(loop):
-                if node is loop:
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        graph = ctx.graph
+        paths = {r.modpath: r.path for r in ctx.parsed}
+        for fid, fn in graph.iter_functions():
+            modpath = fid.partition("::")[0]
+            path = paths.get(modpath, modpath)
+            for call in fn["calls"]:
+                if not call["hot"]:
                     continue
-                if isinstance(node, ast.Call):
-                    name = call_name(node)
-                    if name == "obs" or name.startswith("obs."):
-                        yield self.violation(
-                            src, node,
-                            f"obs call {name}() inside a # hot loop",
-                        )
-                    elif self._is_sampler_call(name):
-                        yield self.violation(
-                            src, node,
-                            f"sampler call {name}() inside a # hot loop",
-                        )
+                kind = _obs_call_kind(call["name"])
+                if kind is not None:
+                    yield self.violation_at(
+                        path, call["line"], call["col"],
+                        f"{kind} call {call['name']}() inside a "
+                        f"# hot loop",
+                    )
+                    continue
+                chain = self._obs_chain(graph, modpath, fn, call)
+                if chain is not None:
+                    yield self.violation_at(
+                        path, call["line"], call["col"],
+                        f"call {call['name']}() inside a # hot loop "
+                        f"reaches the obs layer "
+                        f"(via {' -> '.join(chain)})",
+                    )
+
+    def _obs_chain(
+        self, graph: Any, modpath: str, fn: Dict[str, Any],
+        call: Dict[str, Any],
+    ) -> Optional[List[str]]:
+        """Shortest call path from a hot call into the obs layer.
+
+        Returns the chain of function names (starting at the hot call's
+        target) ending at the first function that either lives in
+        :mod:`repro.obs` or makes a raw obs/sampler call — or None when
+        the loop body never reaches obs.
+        """
+        start = graph.resolve_call(modpath, fn, call["name"])
+        if start is None:
+            return None
+        parent: Dict[str, Optional[str]] = {start: None}
+        queue: List[str] = [start]
+        while queue:
+            cur = queue.pop(0)
+            if cur.partition("::")[0].startswith(_OBS_MODPATH_PREFIX):
+                return self._chain_to(parent, cur)
+            info = graph.function(cur)
+            if info is None:
+                continue
+            for callee_call, target in graph.resolved_calls.get(cur, ()):
+                if target not in parent:
+                    parent[target] = cur
+                    queue.append(target)
+            for sub in info["calls"]:
+                if _obs_call_kind(sub["name"]) is not None:
+                    chain = self._chain_to(parent, cur)
+                    chain.append(f"{sub['name']}()")
+                    return chain
+        return None
+
+    @staticmethod
+    def _chain_to(
+        parent: Dict[str, Optional[str]], fid: Optional[str]
+    ) -> List[str]:
+        chain: List[str] = []
+        while fid is not None:
+            chain.append(fid.partition("::")[2])
+            fid = parent[fid]
+        chain.reverse()
+        return chain

@@ -1,0 +1,134 @@
+"""SARIF 2.1.0 reporter for noiselint results.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what code-scanning UIs ingest — GitHub code scanning, VS Code SARIF
+viewers, defect dashboards.  Emitting it makes noiselint findings show
+up as annotations instead of buried CI logs.
+
+The document maps one engine run to one SARIF ``run``:
+
+* every registered rule appears in ``tool.driver.rules`` (id, name,
+  rationale as ``shortDescription``, fix hint as ``help``), so viewers
+  can render the catalog without a side channel;
+* every violation becomes a ``result`` with ``ruleId``/``ruleIndex``,
+  a severity-mapped ``level`` (error / warning / note), and one
+  physical location (SARIF columns are 1-based; noiselint cols are
+  0-based, same shift as the text reporter);
+* pragma-suppressed violations are included with ``suppressions:
+  [{"kind": "inSource"}]`` — that is SARIF's word for "an in-code
+  comment silenced this", and viewers hide them by default.
+
+The exact shape is round-trip tested in ``tests/test_noiselint.py``
+and documented in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+import repro
+from repro.check.engine import CheckResult
+from repro.check.framework import REGISTRY, Severity, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptor(rule: Any) -> Dict[str, Any]:
+    desc: Dict[str, Any] = {
+        "id": rule.id,
+        "name": rule.name,
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+    if rule.rationale:
+        desc["shortDescription"] = {"text": rule.rationale}
+    if rule.hint:
+        desc["help"] = {"text": rule.hint}
+    return desc
+
+
+def _result(
+    violation: Violation, rule_index: Dict[str, int], suppressed: bool
+) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": violation.rule,
+        "level": _LEVELS[violation.severity],
+        "message": {"text": violation.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": violation.path},
+                "region": {
+                    "startLine": violation.line,
+                    "startColumn": violation.col + 1,
+                },
+            },
+        }],
+    }
+    index = rule_index.get(violation.rule)
+    if index is not None:
+        result["ruleIndex"] = index
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+#: Engine-hygiene rules live in the engine, not the registry; SARIF
+#: still wants their metadata so every result resolves a ruleIndex.
+_ENGINE_RULES = (
+    ("NL001", "suppressions-carry-reasons", "error",
+     "a disable pragma without a `-- reason` is unauditable"),
+    ("NL002", "pragmas-name-known-rules", "error",
+     "a pragma naming an unknown rule id suppresses nothing"),
+    ("NL003", "no-stale-suppressions", "warning",
+     "a pragma that matched no violation hides future real ones"),
+    ("NL004", "files-must-parse", "error",
+     "noiselint needs valid Python to check contracts"),
+)
+
+
+def render_sarif(result: CheckResult) -> str:
+    """The whole run as a SARIF 2.1.0 JSON document."""
+    rules = [_rule_descriptor(rule) for rule in REGISTRY]
+    rules.extend(
+        {
+            "id": rule_id,
+            "name": name,
+            "defaultConfiguration": {"level": level},
+            "shortDescription": {"text": text},
+        }
+        for rule_id, name, level, text in _ENGINE_RULES
+    )
+    rule_index = {desc["id"]: i for i, desc in enumerate(rules)}
+    results: List[Dict[str, Any]] = [
+        _result(v, rule_index, suppressed=False)
+        for v in result.violations
+    ]
+    results.extend(
+        _result(v, rule_index, suppressed=True)
+        for v in result.suppressed
+    )
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "noiselint",
+                    "version": repro.__version__,
+                    "informationUri":
+                        "https://github.com/lttng-noise/docs/"
+                        "static-analysis.md",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -9,9 +9,14 @@ builds its event-id LUT).  A drifting member shows up at runtime as an
 activity silently categorized OTHER or a point event with a dangling
 EXIT — these rules catch it at lint time instead.
 
-The vocabulary is parsed from the scanned file set when it contains
-``repro/tracing/events.py`` (so fixtures can fake one); otherwise it is
-resolved on disk next to any scanned ``repro/`` module.
+Since the incremental engine rework the rules are fact-based: the
+``schema`` extractor records every ``Ev.<member>`` reference,
+``emit_point`` call, ``event=`` keyword and ``.emit`` arity in the
+per-file phase (cached), and the project phase only joins those facts
+against the vocabulary.  The vocabulary itself is parsed from the
+scanned file set when it contains ``repro/tracing/events.py`` (so
+fixtures can fake one); otherwise it is resolved on disk next to any
+scanned ``repro/`` module.
 """
 
 from __future__ import annotations
@@ -19,15 +24,17 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.check.framework import (
     REGISTRY,
+    FileRecord,
     ProjectRule,
     Severity,
     SourceFile,
     Violation,
     call_name,
+    fact_extractor,
 )
 
 EVENTS_MODPATH = "repro/tracing/events.py"
@@ -35,114 +42,6 @@ MODEL_MODPATH = "repro/core/model.py"
 
 #: Pseudo event ids defined in model.py, legal EVENT_CATEGORY keys.
 PSEUDO_EVENT_NAMES = ("PREEMPT_EVENT", "TRACER_PREEMPT_EVENT")
-
-
-@dataclass
-class Vocabulary:
-    """The parsed trace-event vocabulary."""
-
-    members: Dict[str, int] = field(default_factory=dict)  # Ev.X -> id
-    first_point_event: Optional[int] = None
-    named: Set[str] = field(default_factory=set)       # EVENT_NAMES keys
-    categorized: Set[str] = field(default_factory=set)  # EVENT_CATEGORY keys
-    events_src: Optional[SourceFile] = None
-    model_src: Optional[SourceFile] = None
-
-    def is_paired(self, member: str) -> Optional[bool]:
-        value = self.members.get(member)
-        if value is None or self.first_point_event is None:
-            return None
-        return value < self.first_point_event
-
-
-def _find_source(
-    files: Sequence[SourceFile], modpath: str
-) -> Optional[SourceFile]:
-    for src in files:
-        if src.modpath == modpath:
-            return src
-    # Fall back to disk, anchored at any scanned repro/ module.
-    for src in files:
-        if not src.modpath.startswith("repro/"):
-            continue
-        depth = src.modpath.count("/")
-        root = os.path.normpath(src.path)
-        for _ in range(depth):
-            root = os.path.dirname(root)
-        candidate = os.path.join(root, *modpath.split("/")[1:])
-        if os.path.isfile(candidate):
-            with open(candidate, encoding="utf-8") as fp:
-                return SourceFile(candidate, fp.read(), modpath=modpath)
-    return None
-
-
-def load_vocabulary(files: Sequence[SourceFile]) -> Vocabulary:
-    vocab = Vocabulary()
-    vocab.events_src = _find_source(files, EVENTS_MODPATH)
-    vocab.model_src = _find_source(files, MODEL_MODPATH)
-    if vocab.events_src is not None and vocab.events_src.tree is not None:
-        _parse_events(vocab, vocab.events_src.tree)
-    if vocab.model_src is not None and vocab.model_src.tree is not None:
-        _parse_model(vocab, vocab.model_src.tree)
-    return vocab
-
-
-def _parse_events(vocab: Vocabulary, tree: ast.AST) -> None:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and node.name == "Ev":
-            for stmt in node.body:
-                if (
-                    isinstance(stmt, ast.Assign)
-                    and len(stmt.targets) == 1
-                    and isinstance(stmt.targets[0], ast.Name)
-                    and isinstance(stmt.value, ast.Constant)
-                    and isinstance(stmt.value.value, int)
-                ):
-                    vocab.members[stmt.targets[0].id] = stmt.value.value
-        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
-            targets = (
-                node.targets if isinstance(node, ast.Assign)
-                else [node.target]
-            )
-            for target in targets:
-                if not isinstance(target, ast.Name):
-                    continue
-                if target.id == "FIRST_POINT_EVENT" and isinstance(
-                    node.value, ast.Constant
-                ):
-                    vocab.first_point_event = int(node.value.value)
-                elif target.id == "EVENT_NAMES" and isinstance(
-                    node.value, ast.Dict
-                ):
-                    for key in node.value.keys:
-                        member = _ev_member(key)
-                        if member:
-                            vocab.named.add(member)
-
-
-def _parse_model(vocab: Vocabulary, tree: ast.AST) -> None:
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Assign, ast.AnnAssign)):
-            targets = (
-                node.targets if isinstance(node, ast.Assign)
-                else [node.target]
-            )
-            for target in targets:
-                if not (
-                    isinstance(target, ast.Name)
-                    and target.id == "EVENT_CATEGORY"
-                    and isinstance(node.value, ast.Dict)
-                ):
-                    continue
-                for key in node.value.keys:
-                    member = _ev_member(key)
-                    if member:
-                        vocab.categorized.add(member)
-                    elif (
-                        isinstance(key, ast.Name)
-                        and key.id in PSEUDO_EVENT_NAMES
-                    ):
-                        vocab.categorized.add(key.id)
 
 
 def _ev_member(node: Optional[ast.AST]) -> Optional[str]:
@@ -156,19 +55,191 @@ def _ev_member(node: Optional[ast.AST]) -> Optional[str]:
     return None
 
 
-class _SchemaRule(ProjectRule):
-    """Shared scaffolding: parse the vocabulary once per project pass."""
+# ----------------------------------------------------------------------
+# Per-file fact extraction (cached by the incremental driver)
+# ----------------------------------------------------------------------
 
-    def check_project(
-        self, files: Sequence[SourceFile]
-    ) -> Iterable[Violation]:
-        vocab = load_vocabulary(files)
+@fact_extractor("schema")
+def extract_schema_facts(src: SourceFile) -> Dict[str, Any]:
+    """Every schema-relevant site in one file, as plain JSON data."""
+    facts: Dict[str, Any] = {
+        "ev_refs": [],
+        "emit_points": [],
+        "event_kwargs": [],
+        "emit_calls": [],
+    }
+    for node in src.walk():
+        member = _ev_member(node)
+        if member is not None:
+            facts["ev_refs"].append(
+                [member, node.lineno, node.col_offset]
+            )
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name.endswith("emit_point"):
+            first = _ev_member(node.args[0]) if node.args else None
+            facts["emit_points"].append({
+                "line": node.lineno,
+                "col": node.col_offset,
+                "nargs": len(node.args) + len(node.keywords),
+                "member": first,
+            })
+        for kw in node.keywords:
+            if kw.arg == "event":
+                facts["event_kwargs"].append({
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "member": _ev_member(kw.value),
+                })
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "emit":
+            facts["emit_calls"].append({
+                "line": node.lineno,
+                "col": node.col_offset,
+                "nargs": len(node.args) + len(node.keywords),
+            })
+    vocab = _extract_vocab_tables(src)
+    if vocab:
+        facts["vocab"] = vocab
+    return facts
+
+
+def _extract_vocab_tables(src: SourceFile) -> Dict[str, Any]:
+    """Ev members / FIRST_POINT_EVENT / EVENT_NAMES / EVENT_CATEGORY."""
+    members: Dict[str, int] = {}
+    first_point: Optional[int] = None
+    named: List[str] = []
+    categorized: List[str] = []
+    for node in src.walk():
+        if isinstance(node, ast.ClassDef) and node.name == "Ev":
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, int)
+                ):
+                    members[stmt.targets[0].id] = stmt.value.value
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "FIRST_POINT_EVENT" and isinstance(
+                    node.value, ast.Constant
+                ):
+                    first_point = int(node.value.value)
+                elif target.id == "EVENT_NAMES" and isinstance(
+                    node.value, ast.Dict
+                ):
+                    for key in node.value.keys:
+                        member = _ev_member(key)
+                        if member:
+                            named.append(member)
+                elif target.id == "EVENT_CATEGORY" and isinstance(
+                    node.value, ast.Dict
+                ):
+                    for key in node.value.keys:
+                        member = _ev_member(key)
+                        if member:
+                            categorized.append(member)
+                        elif (
+                            isinstance(key, ast.Name)
+                            and key.id in PSEUDO_EVENT_NAMES
+                        ):
+                            categorized.append(key.id)
+    if not (members or first_point is not None or named or categorized):
+        return {}
+    return {
+        "members": members,
+        "first_point_event": first_point,
+        "named": named,
+        "categorized": categorized,
+    }
+
+
+# ----------------------------------------------------------------------
+# Vocabulary assembly (project phase)
+# ----------------------------------------------------------------------
+
+@dataclass
+class Vocabulary:
+    """The parsed trace-event vocabulary."""
+
+    members: Dict[str, int] = field(default_factory=dict)  # Ev.X -> id
+    first_point_event: Optional[int] = None
+    named: Set[str] = field(default_factory=set)       # EVENT_NAMES keys
+    categorized: Set[str] = field(default_factory=set)  # EVENT_CATEGORY keys
+    events_path: Optional[str] = None
+    model_path: Optional[str] = None
+
+    def is_paired(self, member: str) -> Optional[bool]:
+        value = self.members.get(member)
+        if value is None or self.first_point_event is None:
+            return None
+        return value < self.first_point_event
+
+
+def _find_vocab_facts(
+    records: Sequence[FileRecord], modpath: str
+) -> Optional[Dict[str, Any]]:
+    """Schema facts of ``modpath``, from the run's records or from disk."""
+    for record in records:
+        if record.modpath == modpath:
+            facts = dict(record.facts.get("schema", {}))
+            facts["_path"] = record.path
+            return facts
+    # Fall back to disk, anchored at any scanned repro/ module.
+    for record in records:
+        if not record.modpath.startswith("repro/"):
+            continue
+        depth = record.modpath.count("/")
+        root = os.path.normpath(record.path)
+        for _ in range(depth):
+            root = os.path.dirname(root)
+        candidate = os.path.join(root, *modpath.split("/")[1:])
+        if os.path.isfile(candidate):
+            with open(candidate, encoding="utf-8") as fp:
+                src = SourceFile(candidate, fp.read(), modpath=modpath)
+            facts = extract_schema_facts(src)
+            facts["_path"] = candidate
+            return facts
+    return None
+
+
+def load_vocabulary(records: Sequence[FileRecord]) -> Vocabulary:
+    vocab = Vocabulary()
+    events = _find_vocab_facts(records, EVENTS_MODPATH)
+    model = _find_vocab_facts(records, MODEL_MODPATH)
+    if events is not None:
+        vocab.events_path = events["_path"]
+        tables = events.get("vocab", {})
+        vocab.members = dict(tables.get("members", {}))
+        vocab.first_point_event = tables.get("first_point_event")
+        vocab.named = set(tables.get("named", ()))
+    if model is not None:
+        vocab.model_path = model["_path"]
+        tables = model.get("vocab", {})
+        vocab.categorized = set(tables.get("categorized", ()))
+    return vocab
+
+
+class _SchemaRule(ProjectRule):
+    """Shared scaffolding: one vocabulary per project pass (memoized)."""
+
+    def check_records(self, ctx: Any) -> Iterable[Violation]:
+        vocab = ctx.vocab
         if not vocab.members:
             return ()  # no vocabulary in reach (e.g. fixture-only runs)
-        return self.check_vocab(vocab, files)
+        return self.check_vocab(vocab, ctx.parsed)
 
     def check_vocab(
-        self, vocab: Vocabulary, files: Sequence[SourceFile]
+        self, vocab: Vocabulary, records: Sequence[FileRecord]
     ) -> Iterable[Violation]:
         raise NotImplementedError
 
@@ -186,16 +257,17 @@ class UnknownEventRule(_SchemaRule):
     )
 
     def check_vocab(
-        self, vocab: Vocabulary, files: Sequence[SourceFile]
+        self, vocab: Vocabulary, records: Sequence[FileRecord]
     ) -> Iterable[Violation]:
-        for src in files:
-            if src.modpath == EVENTS_MODPATH:
+        for record in records:
+            if record.modpath == EVENTS_MODPATH:
                 continue
-            for node in src.walk():
-                member = _ev_member(node)
-                if member is not None and member not in vocab.members:
-                    yield self.violation(
-                        src, node,
+            for member, line, col in record.facts.get("schema", {}).get(
+                "ev_refs", ()
+            ):
+                if member not in vocab.members:
+                    yield self.violation_at(
+                        record.path, line, col,
                         f"reference to undefined event Ev.{member}",
                     )
 
@@ -216,29 +288,25 @@ class PointEmitRule(_SchemaRule):
     )
 
     def check_vocab(
-        self, vocab: Vocabulary, files: Sequence[SourceFile]
+        self, vocab: Vocabulary, records: Sequence[FileRecord]
     ) -> Iterable[Violation]:
-        for src in files:
-            for node in src.walk():
-                if not isinstance(node, ast.Call):
-                    continue
-                name = call_name(node)
-                if not name.endswith("emit_point"):
-                    continue
-                if len(node.args) + len(node.keywords) != 3:
-                    yield self.violation(
-                        src, node,
+        for record in records:
+            for site in record.facts.get("schema", {}).get(
+                "emit_points", ()
+            ):
+                if site["nargs"] != 3:
+                    yield self.violation_at(
+                        record.path, site["line"], site["col"],
                         f"emit_point takes (event, pid, arg); got "
-                        f"{len(node.args) + len(node.keywords)} args",
+                        f"{site['nargs']} args",
                     )
-                if node.args:
-                    member = _ev_member(node.args[0])
-                    if member is not None and vocab.is_paired(member):
-                        yield self.violation(
-                            src, node,
-                            f"paired event Ev.{member} emitted as a "
-                            f"point record",
-                        )
+                member = site.get("member")
+                if member is not None and vocab.is_paired(member):
+                    yield self.violation_at(
+                        record.path, site["line"], site["col"],
+                        f"paired event Ev.{member} emitted as a "
+                        f"point record",
+                    )
 
 
 @REGISTRY.register
@@ -257,24 +325,21 @@ class PairedFrameRule(_SchemaRule):
     )
 
     def check_vocab(
-        self, vocab: Vocabulary, files: Sequence[SourceFile]
+        self, vocab: Vocabulary, records: Sequence[FileRecord]
     ) -> Iterable[Violation]:
-        for src in files:
-            for node in src.walk():
-                if not isinstance(node, ast.Call):
-                    continue
-                for kw in node.keywords:
-                    if kw.arg != "event":
-                        continue
-                    member = _ev_member(kw.value)
-                    if member is not None and (
-                        vocab.is_paired(member) is False
-                    ):
-                        yield self.violation(
-                            src, node,
-                            f"point event Ev.{member} used as a paired "
-                            f"activity (event= keyword)",
-                        )
+        for record in records:
+            for site in record.facts.get("schema", {}).get(
+                "event_kwargs", ()
+            ):
+                member = site.get("member")
+                if member is not None and (
+                    vocab.is_paired(member) is False
+                ):
+                    yield self.violation_at(
+                        record.path, site["line"], site["col"],
+                        f"point event Ev.{member} used as a paired "
+                        f"activity (event= keyword)",
+                    )
 
 
 @REGISTRY.register
@@ -295,25 +360,19 @@ class EmitSignatureRule(_SchemaRule):
     scope = ("repro/simkernel/", "repro/tracing/")
 
     def check_vocab(
-        self, vocab: Vocabulary, files: Sequence[SourceFile]
+        self, vocab: Vocabulary, records: Sequence[FileRecord]
     ) -> Iterable[Violation]:
-        for src in files:
-            if not self.applies_to(src):
+        for record in records:
+            if not self.applies_to(record):
                 continue
-            for node in src.walk():
-                if not isinstance(node, ast.Call):
-                    continue
-                func = node.func
-                if not (
-                    isinstance(func, ast.Attribute) and func.attr == "emit"
-                ):
-                    continue
-                n = len(node.args) + len(node.keywords)
-                if n != 6:
-                    yield self.violation(
-                        src, node,
-                        f".emit() called with {n} args, record has 6 "
-                        f"fields",
+            for site in record.facts.get("schema", {}).get(
+                "emit_calls", ()
+            ):
+                if site["nargs"] != 6:
+                    yield self.violation_at(
+                        record.path, site["line"], site["col"],
+                        f".emit() called with {site['nargs']} args, "
+                        f"record has 6 fields",
                     )
 
 
@@ -333,23 +392,21 @@ class VocabularyCoverageRule(_SchemaRule):
     )
 
     def check_vocab(
-        self, vocab: Vocabulary, files: Sequence[SourceFile]
+        self, vocab: Vocabulary, records: Sequence[FileRecord]
     ) -> Iterable[Violation]:
-        events_src = vocab.events_src
-        model_src = vocab.model_src
         for member in sorted(vocab.members):
-            if member not in vocab.named and events_src is not None:
-                yield self.violation(
-                    events_src, events_src.tree,
+            if member not in vocab.named and vocab.events_path is not None:
+                yield self.violation_at(
+                    vocab.events_path, 1, 0,
                     f"Ev.{member} has no EVENT_NAMES entry",
                 )
             if (
                 vocab.is_paired(member)
                 and member not in vocab.categorized
-                and model_src is not None
+                and vocab.model_path is not None
             ):
-                yield self.violation(
-                    model_src, model_src.tree,
+                yield self.violation_at(
+                    vocab.model_path, 1, 0,
                     f"paired event Ev.{member} has no EVENT_CATEGORY "
                     f"entry (classify LUT would fall back to OTHER)",
                 )

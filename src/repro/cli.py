@@ -652,7 +652,7 @@ def cmd_selftrace(args) -> int:
 def cmd_check(args) -> int:
     """Run the noiselint repo-contract static analysis (see
     docs/static-analysis.md)."""
-    from repro.check import run_check
+    from repro.check.incremental import lint_paths
     from repro.check.report import render_json, render_rule_list, render_text
 
     if args.list_rules:
@@ -660,19 +660,33 @@ def cmd_check(args) -> int:
         return 0
     select = [r for r in (args.select or "").split(",") if r.strip()]
     ignore = [r for r in (args.ignore or "").split(",") if r.strip()]
+    fmt = "json" if args.json else args.format
     try:
-        result = run_check(
+        result = lint_paths(
             args.paths or ["src"],
             select=select or None,
             ignore=ignore or None,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
         )
     except FileNotFoundError as exc:
         print(f"no such path: {exc}", file=sys.stderr)
         return 2
-    if args.json:
+    if fmt == "json":
         print(render_json(result))
+    elif fmt == "sarif":
+        from repro.check.sarif import render_sarif
+
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
+        if result.files_reused or result.files_analyzed:
+            print(
+                f"({result.files_reused} records from cache, "
+                f"{result.files_analyzed} analyzed)",
+                file=sys.stderr,
+            )
     return 1 if result.failed else 0
 
 
@@ -1055,8 +1069,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to check (default: src)")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable report "
-                        "(schema: docs/static-analysis.md)")
+                   help="machine-readable report (same as --format json; "
+                        "schema: docs/static-analysis.md)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text",
+                   help="report format; sarif emits a SARIF 2.1.0 "
+                        "document for code-scanning UIs")
+    p.add_argument("--jobs", nargs="?", type=int, const=0, metavar="N",
+                   help="analyze cold files in N worker processes "
+                        "(bare --jobs: one per CPU)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="lint-record cache location (default: "
+                        "$LTTNG_NOISE_CACHE/lint)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-analyze every file; neither read nor write "
+                        "the record cache")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.add_argument("--select", metavar="RULES",

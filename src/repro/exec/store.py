@@ -1,4 +1,4 @@
-"""Sharded on-disk result store keyed by RunSpec content hashes.
+"""Sharded on-disk blob stores keyed by content hashes.
 
 Generalizes the flat ``ResultCache`` directory into a store that scales to
 10k-run sweep campaigns:
@@ -16,7 +16,14 @@ Generalizes the flat ``ResultCache`` directory into a store that scales to
   crashed run nor a crashed *machine* leaves a half-written entry that a
   resumed sweep would trust.
 
-Each entry is still three files named by the spec's
+The generic machinery lives in :class:`ShardedBlobStore` (tokens,
+shards, atomic writes, enumeration, the LRU budget, and thread-safe
+hit/miss/eviction counters — instances are shared across the service's
+pool workers, so the counters take a lock).  :class:`ShardedStore`
+specializes it to simulation results; ``repro.check.incremental`` reuses
+the same base for its lint-record cache.
+
+Each simulation entry is three files named by the spec's
 :meth:`~repro.exec.spec.RunSpec.cache_token`::
 
     <shard>/<token>.lttnz      the binary trace (compressed packets)
@@ -33,6 +40,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
@@ -63,7 +71,7 @@ def default_cache_dir() -> str:
 
 @dataclass(frozen=True)
 class StoreEntry:
-    """One stored run: its token, on-disk size and recency."""
+    """One stored entry: its token, on-disk size and recency."""
 
     token: str
     nbytes: int
@@ -71,13 +79,23 @@ class StoreEntry:
     paths: Tuple[str, ...]
 
 
-class ShardedStore:
-    """Hash-prefix-sharded directory of (trace, meta) results."""
+class ShardedBlobStore:
+    """Hash-prefix-sharded directory of multi-file entries.
+
+    Subclasses set ``suffixes`` (the files one entry consists of, first
+    one defining what gets counted by :meth:`clear`) and, when only a
+    prefix of them is needed for an entry to be servable,
+    ``required_suffixes``.
+    """
+
+    #: The files making up one entry, in :meth:`token_paths` order.
+    suffixes: Tuple[str, ...] = (".blob",)
+    #: The subset without which an entry is incomplete (default: all).
+    required_suffixes: Optional[Tuple[str, ...]] = None
 
     def __init__(
         self,
-        root: Optional[str] = None,
-        version: Optional[str] = None,
+        root: str,
         *,
         prefix_len: int = 2,
         max_bytes: Optional[int] = None,
@@ -87,121 +105,66 @@ class ShardedStore:
             raise ValueError("prefix_len must be in 1..8")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be positive")
-        self.root = root or default_cache_dir()
-        self.version = version or repro.__version__
+        self.root = root
         self.prefix_len = prefix_len
         self.max_bytes = max_bytes
         self.durable = durable
         self.hits = 0
         self.misses = 0
         self.evicted_lru = 0
+        #: One store instance serves every pool worker; the counters
+        #: above are only ever mutated under this lock.
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Stats (thread-safe: instances are shared across pool workers)
+    # ------------------------------------------------------------------
+    def _count_hit(self) -> None:
+        with self._stats_lock:
+            self.hits += 1
+
+    def _count_miss(self) -> None:
+        with self._stats_lock:
+            self.misses += 1
+
+    def _count_evicted(self, n: int) -> None:
+        with self._stats_lock:
+            self.evicted_lru += n
 
     # ------------------------------------------------------------------
     # Addressing
     # ------------------------------------------------------------------
-    def token(self, spec: RunSpec) -> str:
-        return spec.cache_token(self.version)
-
     def shard_of(self, token: str) -> str:
         """Shard directory name for a token (its hex-digest prefix)."""
         return token[: self.prefix_len]
 
-    def _token_paths(self, token: str) -> Tuple[str, str, str]:
+    def token_paths(self, token: str) -> Tuple[str, ...]:
         shard = os.path.join(self.root, self.shard_of(token))
-        return (
-            os.path.join(shard, token + _SUFFIXES[0]),
-            os.path.join(shard, token + _SUFFIXES[1]),
-            os.path.join(shard, token + _SUFFIXES[2]),
+        return tuple(
+            os.path.join(shard, token + suffix) for suffix in self.suffixes
         )
 
-    def _legacy_paths(self, token: str) -> Tuple[str, str, str]:
+    def _legacy_paths(self, token: str) -> Tuple[str, ...]:
         """Pre-sharding layout: flat files directly under the root."""
-        return (
-            os.path.join(self.root, token + _SUFFIXES[0]),
-            os.path.join(self.root, token + _SUFFIXES[1]),
-            os.path.join(self.root, token + _SUFFIXES[2]),
+        return tuple(
+            os.path.join(self.root, token + suffix)
+            for suffix in self.suffixes
         )
 
-    def _paths(self, spec: RunSpec) -> Tuple[str, str, str]:
-        return self._token_paths(self.token(spec))
+    def _required(self) -> Tuple[str, ...]:
+        return self.required_suffixes or self.suffixes
 
-    def _locate(self, token: str) -> Optional[Tuple[str, str, str]]:
+    def locate(self, token: str) -> Optional[Tuple[str, ...]]:
         """Paths of an existing entry (sharded, else legacy flat), or None."""
-        for paths in (self._token_paths(token), self._legacy_paths(token)):
-            if os.path.exists(paths[0]) and os.path.exists(paths[1]):
+        n = len(self._required())
+        for paths in (self.token_paths(token), self._legacy_paths(token)):
+            if all(os.path.exists(p) for p in paths[:n]):
                 return paths
         return None
 
-    def contains(self, spec: RunSpec) -> bool:
-        return self._locate(self.token(spec)) is not None
-
     # ------------------------------------------------------------------
-    # Read / write
+    # Durable writes
     # ------------------------------------------------------------------
-    def get(self, spec: RunSpec) -> Optional[Tuple["Trace", "TraceMeta"]]:
-        """Stored ``(trace, meta)`` for the spec, or None on a miss.
-
-        A corrupt entry (truncated write, wrong format) counts as a miss
-        and is evicted, so the caller re-simulates instead of crashing.
-        A hit refreshes the entry's mtime — recency for the LRU budget.
-        """
-        from repro.core.model import TraceMeta
-        from repro.tracing.ctf import Trace, TraceFormatError
-
-        paths = self._locate(self.token(spec))
-        if paths is None:
-            self._miss()
-            return None
-        trace_path, meta_path, _ = paths
-        try:
-            trace = Trace.from_file(trace_path)
-            meta = TraceMeta.from_file(meta_path)
-        except (TraceFormatError, OSError, ValueError, KeyError):
-            self.evict(spec)
-            self._miss()
-            return None
-        self.hits += 1
-        self._touch(trace_path)
-        if obs.enabled():
-            obs.counter("cache.hit").inc()
-        return trace, meta
-
-    def _miss(self) -> None:
-        self.misses += 1
-        if obs.enabled():
-            obs.counter("cache.miss").inc()
-
-    @staticmethod
-    def _touch(path: str) -> None:
-        try:
-            os.utime(path)
-        except OSError:  # pragma: no cover - entry raced away
-            pass
-
-    def put(self, spec: RunSpec, trace: "Trace", meta: "TraceMeta") -> None:
-        if obs.enabled():
-            obs.counter("cache.put").inc()
-        trace_path, meta_path, spec_path = self._paths(spec)
-        shard_dir = os.path.dirname(trace_path)
-        os.makedirs(shard_dir, exist_ok=True)
-        trace_bytes = trace.to_bytes(compress=True)
-        meta_bytes = meta.to_json().encode("utf-8")
-        sidecar = dict(spec.to_dict(), version=self.version)
-        spec_bytes = json.dumps(sidecar, indent=2).encode("utf-8")
-        self._write_atomic(trace_path, trace_bytes)
-        self._write_atomic(meta_path, meta_bytes)
-        self._write_atomic(spec_path, spec_bytes)
-        if obs.enabled():
-            # Cheap running total (no directory scan): what this process
-            # wrote, charted over time by the sampler.
-            obs.counter("store.put_bytes").inc(
-                len(trace_bytes) + len(meta_bytes) + len(spec_bytes)
-            )
-        if self.durable:
-            self._fsync_dir(shard_dir)
-        if self.max_bytes is not None:
-            self._enforce_budget(keep=self.token(spec))
-
     def _write_atomic(self, path: str, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
@@ -228,6 +191,13 @@ class ShardedStore:
         finally:
             os.close(fd)
 
+    @staticmethod
+    def _touch(path: str) -> None:
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+
     # ------------------------------------------------------------------
     # Enumeration + budget
     # ------------------------------------------------------------------
@@ -242,13 +212,13 @@ class ShardedStore:
                     yield child.path
 
     def entries(self) -> List[StoreEntry]:
-        """Every complete stored run, with size and recency."""
+        """Every complete stored entry, with size and recency."""
         found: Dict[str, Dict[str, Tuple[str, os.stat_result]]] = {}
         for directory in self._entry_dirs():
             with os.scandir(directory) as it:
                 for child in it:
                     name = child.name
-                    for suffix in _SUFFIXES:
+                    for suffix in self.suffixes:
                         if name.endswith(suffix):
                             token = name[: -len(suffix)]
                             try:
@@ -261,16 +231,24 @@ class ShardedStore:
                             break
         out = []
         for token, parts in sorted(found.items()):
-            if _SUFFIXES[0] not in parts or _SUFFIXES[1] not in parts:
+            if any(s not in parts for s in self._required()):
                 continue  # incomplete entry: not servable, not counted
             nbytes = sum(stat.st_size for _, stat in parts.values())
-            mtime_ns = parts[_SUFFIXES[0]][1].st_mtime_ns
-            paths = tuple(parts[s][0] for s in _SUFFIXES if s in parts)
+            mtime_ns = parts[self.suffixes[0]][1].st_mtime_ns
+            paths = tuple(
+                parts[s][0] for s in self.suffixes if s in parts
+            )
             out.append(StoreEntry(token, nbytes, mtime_ns, paths))
         return out
 
     def total_bytes(self) -> int:
         return sum(entry.nbytes for entry in self.entries())
+
+    def _observe_total(self, total: int) -> None:
+        """Hook: called with the store size before budget enforcement."""
+
+    def _observe_evicted(self, evicted: int, total: int) -> None:
+        """Hook: called after eviction with the count and the new size."""
 
     def _enforce_budget(self, keep: Optional[str] = None) -> int:
         """Evict oldest-mtime entries until within ``max_bytes``.
@@ -283,8 +261,7 @@ class ShardedStore:
         assert self.max_bytes is not None
         entries = self.entries()
         total = sum(e.nbytes for e in entries)
-        if obs.enabled():
-            obs.gauge("store.bytes").set(total)
+        self._observe_total(total)
         if total <= self.max_bytes:
             return 0
         evicted = 0
@@ -300,10 +277,8 @@ class ShardedStore:
                     pass
             total -= entry.nbytes
             evicted += 1
-        self.evicted_lru += evicted
-        if obs.enabled():
-            obs.counter("store.evict_lru").inc(evicted)
-            obs.gauge("store.bytes").set(total)
+        self._count_evicted(evicted)
+        self._observe_evicted(evicted, total)
         return evicted
 
     # ------------------------------------------------------------------
@@ -320,17 +295,15 @@ class ShardedStore:
         except FileNotFoundError:
             return False
 
-    def evict(self, spec: RunSpec) -> None:
-        if obs.enabled():
-            obs.counter("cache.evict").inc()
-        token = self.token(spec)
-        for paths in (self._token_paths(token), self._legacy_paths(token)):
+    def evict_token(self, token: str) -> None:
+        for paths in (self.token_paths(token), self._legacy_paths(token)):
             for path in paths:
                 self._unlink_quiet(path)
 
     def clear(self) -> int:
-        """Remove every entry (all shards); returns the runs removed."""
+        """Remove every entry (all shards); returns the entries removed."""
         removed = 0
+        primary = self.suffixes[0]
         for directory in list(self._entry_dirs()):
             try:
                 names = os.listdir(directory)
@@ -340,8 +313,8 @@ class ShardedStore:
                 path = os.path.join(directory, name)
                 if not os.path.isfile(path):
                     continue
-                if name.endswith(_SUFFIXES + (".tmp",)):
-                    if self._unlink_quiet(path) and name.endswith(".lttnz"):
+                if name.endswith(self.suffixes + (".tmp",)):
+                    if self._unlink_quiet(path) and name.endswith(primary):
                         removed += 1
             if directory != self.root:
                 try:
@@ -349,6 +322,126 @@ class ShardedStore:
                 except OSError:
                     pass
         return removed
+
+
+class ShardedStore(ShardedBlobStore):
+    """Hash-prefix-sharded directory of (trace, meta) results."""
+
+    suffixes = _SUFFIXES
+    #: the spec sidecar is debugging aid only — an entry serves without it
+    required_suffixes = _SUFFIXES[:2]
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        version: Optional[str] = None,
+        *,
+        prefix_len: int = 2,
+        max_bytes: Optional[int] = None,
+        durable: bool = False,
+    ) -> None:
+        super().__init__(
+            root or default_cache_dir(),
+            prefix_len=prefix_len,
+            max_bytes=max_bytes,
+            durable=durable,
+        )
+        self.version = version or repro.__version__
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def token(self, spec: RunSpec) -> str:
+        return spec.cache_token(self.version)
+
+    def _token_paths(self, token: str) -> Tuple[str, ...]:
+        return self.token_paths(token)
+
+    def _paths(self, spec: RunSpec) -> Tuple[str, ...]:
+        return self.token_paths(self.token(spec))
+
+    def _locate(self, token: str) -> Optional[Tuple[str, ...]]:
+        return self.locate(token)
+
+    def contains(self, spec: RunSpec) -> bool:
+        return self.locate(self.token(spec)) is not None
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[Tuple["Trace", "TraceMeta"]]:
+        """Stored ``(trace, meta)`` for the spec, or None on a miss.
+
+        A corrupt entry (truncated write, wrong format) counts as a miss
+        and is evicted, so the caller re-simulates instead of crashing.
+        A hit refreshes the entry's mtime — recency for the LRU budget.
+        """
+        from repro.core.model import TraceMeta
+        from repro.tracing.ctf import Trace, TraceFormatError
+
+        paths = self.locate(self.token(spec))
+        if paths is None:
+            self._miss()
+            return None
+        trace_path, meta_path = paths[0], paths[1]
+        try:
+            trace = Trace.from_file(trace_path)
+            meta = TraceMeta.from_file(meta_path)
+        except (TraceFormatError, OSError, ValueError, KeyError):
+            self.evict(spec)
+            self._miss()
+            return None
+        self._count_hit()
+        self._touch(trace_path)
+        if obs.enabled():
+            obs.counter("cache.hit").inc()
+        return trace, meta
+
+    def _miss(self) -> None:
+        self._count_miss()
+        if obs.enabled():
+            obs.counter("cache.miss").inc()
+
+    def put(self, spec: RunSpec, trace: "Trace", meta: "TraceMeta") -> None:
+        if obs.enabled():
+            obs.counter("cache.put").inc()
+        trace_path, meta_path, spec_path = self._paths(spec)
+        shard_dir = os.path.dirname(trace_path)
+        os.makedirs(shard_dir, exist_ok=True)
+        trace_bytes = trace.to_bytes(compress=True)
+        meta_bytes = meta.to_json().encode("utf-8")
+        sidecar = dict(spec.to_dict(), version=self.version)
+        spec_bytes = json.dumps(sidecar, indent=2).encode("utf-8")
+        self._write_atomic(trace_path, trace_bytes)
+        self._write_atomic(meta_path, meta_bytes)
+        self._write_atomic(spec_path, spec_bytes)
+        if obs.enabled():
+            # Cheap running total (no directory scan): what this process
+            # wrote, charted over time by the sampler.
+            obs.counter("store.put_bytes").inc(
+                len(trace_bytes) + len(meta_bytes) + len(spec_bytes)
+            )
+        if self.durable:
+            self._fsync_dir(shard_dir)
+        if self.max_bytes is not None:
+            self._enforce_budget(keep=self.token(spec))
+
+    # ------------------------------------------------------------------
+    # Budget observability + removal
+    # ------------------------------------------------------------------
+    def _observe_total(self, total: int) -> None:
+        if obs.enabled():
+            obs.gauge("store.bytes").set(total)
+
+    def _observe_evicted(self, evicted: int, total: int) -> None:
+        if obs.enabled():
+            obs.counter("store.evict_lru").inc(evicted)
+            obs.gauge("store.bytes").set(total)
+
+    def evict(self, spec: RunSpec) -> None:
+        if obs.enabled():
+            obs.counter("cache.evict").inc()
+        self.evict_token(self.token(spec))
 
     def describe(self) -> str:
         budget = (

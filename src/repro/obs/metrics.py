@@ -234,11 +234,15 @@ class MetricsRegistry:
         return metric
 
     def series(self, kind: Optional[str] = None) -> List[Any]:
-        """All live series, optionally of one kind, in creation order."""
-        return [
-            m for (k, _, _), m in self._series.items()
-            if kind is None or k == kind
-        ]
+        """All live series, optionally of one kind, in creation order.
+
+        Snapshots under the registry lock: pool workers create series
+        concurrently via ``_get``, and iterating the live dict races
+        with those inserts (``dictionary changed size during
+        iteration``)."""
+        with self._lock:
+            items = list(self._series.items())
+        return [m for (k, _, _), m in items if kind is None or k == kind]
 
     def scalar_values(self) -> Dict[str, float]:
         """Every series as one scalar per flat key — the sampler's view.

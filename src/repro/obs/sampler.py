@@ -163,17 +163,17 @@ class Sampler:
             "pid": os.getpid(),
             "metrics": metrics,
         }
-        self._seq += 1
+        self._seq += 1  # noiselint: disable=CON001 -- worker-thread only; stop() joins before the closing sample
         if self._last_mono_ns is not None:
             gap = t0 - self._last_mono_ns
             if gap > self.max_gap_ns:
-                self.max_gap_ns = gap
-        self._last_mono_ns = t0
+                self.max_gap_ns = gap  # noiselint: disable=CON001 -- worker-thread only; stop() joins before the closing sample
+        self._last_mono_ns = t0  # noiselint: disable=CON001 -- worker-thread only; stop() joins before the closing sample
         self.ring.append(sample)
         cost = time.monotonic_ns() - t0
-        self.sample_cost_ns += cost
+        self.sample_cost_ns += cost  # noiselint: disable=CON001 -- worker-thread only; stop() joins before the closing sample
         if cost > self.max_sample_cost_ns:
-            self.max_sample_cost_ns = cost
+            self.max_sample_cost_ns = cost  # noiselint: disable=CON001 -- worker-thread only; stop() joins before the closing sample
         return sample
 
     def samples(self) -> List[Sample]:

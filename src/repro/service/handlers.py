@@ -148,7 +148,7 @@ class ServiceApp:
         if path.startswith("/v1/jobs/"):
             if method != "GET":
                 raise HttpError(405, f"{method} not allowed on {path}")
-            return self._job_subresource(request)
+            return await self._job_subresource(request)
         raise HttpError(404, f"no route for {path}")
 
     # ------------------------------------------------------------------
@@ -234,7 +234,7 @@ class ServiceApp:
         except (ValueError, KeyError, TypeError) as exc:
             raise HttpError(400, f"malformed X-Trace-Meta: {exc}")
 
-    def _job_subresource(self, request: Request) -> Response:
+    async def _job_subresource(self, request: Request) -> Response:
         parts = request.path.strip("/").split("/")  # v1 jobs <id> [sub...]
         job = self.table.get(parts[2])
         if job is None:
@@ -245,7 +245,7 @@ class ServiceApp:
         if rest == ["result"]:
             return self._result(job)
         if len(rest) == 2 and rest[0] == "render":
-            return self._render(job, rest[1], request)
+            return await self._render(job, rest[1], request)
         raise HttpError(404, f"no route for {request.path}")
 
     def _result(self, job: Job) -> Response:
@@ -260,7 +260,7 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # Renders
     # ------------------------------------------------------------------
-    def _render(self, job: Job, kind: str, request: Request) -> Response:
+    async def _render(self, job: Job, kind: str, request: Request) -> Response:
         if kind not in RENDER_KINDS:
             raise HttpError(
                 404, f"unknown render {kind!r}; one of {RENDER_KINDS}"
@@ -276,6 +276,15 @@ class ServiceApp:
                 "upload jobs retain no trace (streaming analysis is the "
                 "memory bound); only the 'analyze' render is available",
             )
+        # Store reads, NoiseAnalysis and report rendering are CPU/disk
+        # bound — run them off the loop so one big render can't stall
+        # every other connection's heartbeat.
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._render_job, job, kind, request
+        )
+
+    def _render_job(self, job: Job, kind: str, request: Request) -> Response:
         loaded = self.table.load_run(job)
         if loaded is None:
             raise HttpError(
@@ -372,7 +381,7 @@ async def run_server(
 
     own_root = store_root is None
     if own_root:
-        store_root = tempfile.mkdtemp(prefix="lttng-noise-svc-")
+        store_root = tempfile.mkdtemp(prefix="lttng-noise-svc-")  # noiselint: disable=ASY001 -- one-time startup, before the listener accepts
     store = ShardedStore(store_root, max_bytes=max_store_bytes)
     table = JobTable(
         store, max_concurrency=max_concurrency, use_pool=use_pool

@@ -1,0 +1,9 @@
+# noiselint-fixture: repro/service/fixture_asy001.py
+"""Positive fixture: time.sleep directly on the event loop."""
+
+import time
+
+
+async def handler():
+    time.sleep(0.1)
+    return "done"

@@ -1,0 +1,12 @@
+# noiselint-fixture: repro/service/fixture_asy001t.py
+"""Positive fixture: blocking file IO reached through a sync helper."""
+
+
+def render(path):
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write("payload")
+
+
+async def handler(path):
+    render(path)
+    return path

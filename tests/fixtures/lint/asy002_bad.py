@@ -1,0 +1,11 @@
+# noiselint-fixture: repro/service/fixture_asy002.py
+"""Positive fixture: a coroutine built but never awaited."""
+
+
+async def flush():
+    return 0
+
+
+async def shutdown():
+    flush()
+    return "bye"

@@ -1,0 +1,20 @@
+# noiselint-fixture: repro/service/fixture_asy003.py
+"""Positive fixture: a coroutine mutates state a worker thread locks."""
+
+import threading
+
+LOCK = threading.Lock()
+PENDING = {}
+
+
+def drain():
+    with LOCK:
+        PENDING.clear()
+
+
+def start():
+    return threading.Thread(target=drain)
+
+
+async def enqueue(job_id):
+    PENDING[job_id] = True

@@ -1,0 +1,20 @@
+# noiselint-fixture: repro/service/fixture_asy_ok.py
+"""Negative fixture: awaited calls, executor hops, task handles."""
+
+import asyncio
+
+
+def render(path):
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write("payload")
+
+
+async def worker(path):
+    await asyncio.sleep(0)
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, render, path)
+
+
+async def entry(path):
+    task = asyncio.create_task(worker(path))
+    await task

@@ -1,0 +1,17 @@
+# noiselint-fixture: repro/obs/fixture_con001.py
+"""Positive fixture: two threads write a shared dict with no lock."""
+
+import threading
+
+COUNTS = {}
+
+
+def worker():
+    COUNTS["worker"] = 1
+
+
+def start():
+    thread = threading.Thread(target=worker)
+    thread.start()
+    COUNTS["main"] = 2
+    return thread

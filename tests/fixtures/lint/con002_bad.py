@@ -1,0 +1,16 @@
+# noiselint-fixture: repro/obs/fixture_con002.py
+"""Positive fixture: bare acquire/release leaks the lock on errors."""
+
+import threading
+
+LOCK = threading.Lock()
+
+
+def update(totals, key):
+    LOCK.acquire()
+    totals[key] = totals.get(key, 0) + 1
+    LOCK.release()
+
+
+def probe():
+    return LOCK.acquire(blocking=False)

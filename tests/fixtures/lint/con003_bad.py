@@ -1,0 +1,19 @@
+# noiselint-fixture: repro/obs/fixture_con003.py
+"""Positive fixture: two locks taken in both orders (AB/BA deadlock)."""
+
+import threading
+
+ALPHA = threading.Lock()
+BETA = threading.Lock()
+
+
+def forward():
+    with ALPHA:
+        with BETA:
+            return "ab"
+
+
+def backward():
+    with BETA:
+        with ALPHA:
+            return "ba"

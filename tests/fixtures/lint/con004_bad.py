@@ -1,0 +1,17 @@
+# noiselint-fixture: repro/service/fixture_con004.py
+"""Positive fixture: a signal handler that can take a lock."""
+
+import signal
+import threading
+
+LOCK = threading.Lock()
+STATE = {}
+
+
+def on_term(signum, frame):
+    with LOCK:
+        STATE["stopped"] = True
+
+
+def install():
+    signal.signal(signal.SIGTERM, on_term)

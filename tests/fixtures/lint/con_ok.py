@@ -1,0 +1,20 @@
+# noiselint-fixture: repro/obs/fixture_con_ok.py
+"""Negative fixture: shared state guarded by one with-held lock."""
+
+import threading
+
+LOCK = threading.Lock()
+COUNTS = {}
+
+
+def worker():
+    with LOCK:
+        COUNTS["worker"] = 1
+
+
+def start():
+    thread = threading.Thread(target=worker)
+    thread.start()
+    with LOCK:
+        COUNTS["main"] = 2
+    return thread

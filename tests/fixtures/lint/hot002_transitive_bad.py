@@ -1,0 +1,14 @@
+# noiselint-fixture: repro/simkernel/fixture_hot002t.py
+"""Positive fixture: a hot loop reaching obs through a helper."""
+
+from repro import obs
+
+
+def account(n):
+    obs.counter("events").inc(n)
+
+
+def run(queue):
+    while queue:  # hot
+        queue.pop()
+        account(1)

@@ -58,6 +58,15 @@ def rules_hit(result):
         ("hot001_bad.py", "HOT001", 7),
         ("hot002_bad.py", "HOT002", 10),
         ("hot002_sampler_bad.py", "HOT002", 12),
+        ("hot002_transitive_bad.py", "HOT002", 14),
+        ("con001_bad.py", "CON001", 10),
+        ("con002_bad.py", "CON002", 10),
+        ("con003_bad.py", "CON003", 12),
+        ("con004_bad.py", "CON004", 17),
+        ("asy001_bad.py", "ASY001", 8),
+        ("asy001_transitive_bad.py", "ASY001", 11),
+        ("asy002_bad.py", "ASY002", 10),
+        ("asy003_bad.py", "ASY003", 20),
     ],
 )
 def test_rule_fires(fixture, rule, line):
@@ -101,7 +110,9 @@ def test_unparseable_file_is_reported_not_crashed():
 # ----------------------------------------------------------------------
 
 @pytest.mark.parametrize(
-    "fixture", ["det_ok.py", "nsx_ok.py", "hot_ok.py", "nl_ok.py"]
+    "fixture",
+    ["det_ok.py", "nsx_ok.py", "hot_ok.py", "nl_ok.py", "con_ok.py",
+     "asy_ok.py"],
 )
 def test_clean_fixture_passes(fixture):
     result = check_fixture(fixture)
@@ -165,7 +176,9 @@ def test_every_rule_has_metadata_and_fixture_coverage():
         assert rule.id and rule.name, rule
         assert rule.hint, f"{rule.id} has no fix hint"
         assert rule.rationale, f"{rule.id} has no rationale"
-        assert rule.id[:3] in ("DET", "NSX", "HOT", "SCH"), rule.id
+        assert rule.id[:3] in ("DET", "NSX", "HOT", "SCH", "CON", "ASY"), (
+            rule.id
+        )
     assert "NL001" not in REGISTRY  # hygiene lives in the engine
 
 
@@ -240,3 +253,237 @@ def test_cli_json_clean_run(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["summary"]["failed"] is False
     assert payload["violations"] == []
+
+
+# ----------------------------------------------------------------------
+# CON/ASY pack details.
+# ----------------------------------------------------------------------
+
+def test_con001_reports_every_racing_context():
+    result = check_fixture("con001_bad.py")
+    hits = [v for v in result.violations if v.rule == "CON001"]
+    assert sorted(v.line for v in hits) == [10, 16]
+    for v in hits:
+        assert "COUNTS" in v.message
+        assert "thread:" in v.message and "main" in v.message
+
+
+def test_con002_try_lock_is_exempt():
+    result = check_fixture("con002_bad.py")
+    lines = sorted(
+        v.line for v in result.violations if v.rule == "CON002"
+    )
+    assert lines == [10, 12]  # probe()'s blocking=False stays quiet
+
+
+def test_con003_names_both_witnesses():
+    result = check_fixture("con003_bad.py")
+    (v,) = [v for v in result.violations if v.rule == "CON003"]
+    assert "ALPHA" in v.message and "BETA" in v.message
+    assert "backward" in v.message
+
+
+def test_asy001_transitive_names_the_chain():
+    result = check_fixture("asy001_transitive_bad.py")
+    (v,) = [v for v in result.violations if v.rule == "ASY001"]
+    assert "via render" in v.message
+    assert "open()" in v.message
+
+
+def test_asy003_names_the_coroutine_and_state():
+    result = check_fixture("asy003_bad.py")
+    (v,) = [v for v in result.violations if v.rule == "ASY003"]
+    assert "enqueue" in v.message
+    assert "PENDING" in v.message
+
+
+# ----------------------------------------------------------------------
+# Seeded concurrency bugs are caught (the CON/ASY acceptance contract).
+# ----------------------------------------------------------------------
+
+def test_seeded_thread_shared_dict_write_is_caught(tmp_path):
+    """An unlocked shared-dict write in a thread target fails the check."""
+    pkg = tmp_path / "repro" / "obs"
+    pkg.mkdir(parents=True)
+    bad_file = pkg / "seeded.py"
+    bad_file.write_text(
+        "import threading\n"
+        "\n"
+        "TALLY = {}\n"
+        "\n"
+        "\n"
+        "def _worker():\n"
+        "    TALLY['n'] = TALLY.get('n', 0) + 1\n"
+        "\n"
+        "\n"
+        "def start():\n"
+        "    t = threading.Thread(target=_worker)\n"
+        "    t.start()\n"
+        "    TALLY['started'] = True\n"
+        "    return t\n"
+    )
+    result = run_check([str(tmp_path)])
+    assert result.failed
+    hits = [v for v in result.violations if v.rule == "CON001"]
+    assert {v.line for v in hits} == {7, 13}
+    assert all(v.path == str(bad_file) for v in hits)
+    assert all(v.hint for v in hits)
+
+
+def test_seeded_async_sleep_is_caught(tmp_path):
+    """time.sleep inside an async handler fails the check with ASY001."""
+    pkg = tmp_path / "repro" / "service"
+    pkg.mkdir(parents=True)
+    bad_file = pkg / "seeded.py"
+    bad_file.write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "async def handle(request):\n"
+        "    time.sleep(0.5)\n"
+        "    return request\n"
+    )
+    result = run_check([str(tmp_path)])
+    assert result.failed
+    (v,) = [v for v in result.violations if v.rule == "ASY001"]
+    assert v.path == str(bad_file)
+    assert v.line == 5
+    assert "time.sleep" in v.message
+
+
+# ----------------------------------------------------------------------
+# SARIF reporter.
+# ----------------------------------------------------------------------
+
+def test_cli_sarif_document_shape(capsys):
+    bad = os.path.join(FIXTURES, "det001_bad.py")
+    assert main(["check", bad, "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+
+    assert doc["version"] == "2.1.0"
+    assert "sarif-2.1.0" in doc["$schema"]
+    run = doc["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    ids = [r["id"] for r in rules]
+    assert len(ids) == len(set(ids))
+    for rule_id in ("DET001", "CON001", "ASY001", "HOT002", "NL001"):
+        assert rule_id in ids
+    results = run["results"]
+    assert results
+    for res in results:
+        assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+        assert res["level"] in ("error", "warning", "note")
+        region = res["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1  # 1-based, unlike the engine
+
+
+def test_sarif_marks_pragma_suppressions_in_source(capsys):
+    ok = os.path.join(FIXTURES, "nl_ok.py")
+    assert main(["check", ok, "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    results = doc["runs"][0]["results"]
+    suppressed = [r for r in results if "suppressions" in r]
+    assert [r["ruleId"] for r in suppressed] == ["DET001"]
+    assert suppressed[0]["suppressions"] == [{"kind": "inSource"}]
+    live = [r for r in results if "suppressions" not in r]
+    assert live == []
+
+
+# ----------------------------------------------------------------------
+# Incremental + parallel front-end.
+# ----------------------------------------------------------------------
+
+def _write_incremental_project(root):
+    pkg = root / "repro" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "b.py").write_text("def helper():\n    return 1\n")
+    (pkg / "a.py").write_text(
+        "from repro.pkg.b import helper\n"
+        "\n"
+        "\n"
+        "def caller():\n"
+        "    return helper()\n"
+    )
+    return pkg
+
+
+def test_incremental_cache_reuses_unchanged_records(tmp_path):
+    from repro.check.incremental import lint_paths
+
+    pkg = _write_incremental_project(tmp_path / "proj")
+    cache = str(tmp_path / "cache")
+
+    cold = lint_paths([str(pkg)], cache_dir=cache)
+    assert (cold.files_analyzed, cold.files_reused) == (2, 0)
+    warm = lint_paths([str(pkg)], cache_dir=cache)
+    assert (warm.files_analyzed, warm.files_reused) == (0, 2)
+
+    def key(result):
+        return [
+            (v.rule, v.path, v.line, v.col, v.message)
+            for v in result.violations
+        ]
+
+    assert key(warm) == key(cold)
+
+
+def test_incremental_cache_invalidates_the_import_closure(tmp_path):
+    from repro.check.incremental import lint_paths
+
+    pkg = _write_incremental_project(tmp_path / "proj")
+    cache = str(tmp_path / "cache")
+    lint_paths([str(pkg)], cache_dir=cache)
+
+    # Editing a leaf dependent re-analyzes only that file...
+    (pkg / "a.py").write_text(
+        "from repro.pkg.b import helper\n"
+        "\n"
+        "\n"
+        "def caller():\n"
+        "    return helper() + 1\n"
+    )
+    result = lint_paths([str(pkg)], cache_dir=cache)
+    assert (result.files_analyzed, result.files_reused) == (1, 1)
+
+    # ...but editing an imported module re-analyzes its dependents too.
+    (pkg / "b.py").write_text("def helper():\n    return 2\n")
+    result = lint_paths([str(pkg)], cache_dir=cache)
+    assert (result.files_analyzed, result.files_reused) == (2, 0)
+
+
+def test_incremental_no_cache_and_select_still_apply(tmp_path):
+    from repro.check.incremental import lint_paths
+
+    pkg = tmp_path / "repro" / "obs"
+    pkg.mkdir(parents=True)
+    (pkg / "racy.py").write_text(
+        "import threading\n"
+        "\n"
+        "SEEN = {}\n"
+        "\n"
+        "\n"
+        "def _worker():\n"
+        "    SEEN['x'] = 1\n"
+        "\n"
+        "\n"
+        "def start():\n"
+        "    threading.Thread(target=_worker).start()\n"
+        "    SEEN['y'] = 2\n"
+    )
+    flagged = lint_paths([str(pkg)], no_cache=True)
+    assert {v.rule for v in flagged.violations} == {"CON001"}
+    ignored = lint_paths([str(pkg)], ignore=["CON001"], no_cache=True)
+    assert not ignored.violations
+
+
+def test_parallel_jobs_output_is_byte_identical(capsys):
+    """--jobs N must not change a byte of the report (ordering included)."""
+    serial_code = main(["check", FIXTURES, "--no-cache", "--format", "json"])
+    serial_out = capsys.readouterr().out
+    jobs_code = main([
+        "check", FIXTURES, "--no-cache", "--format", "json", "--jobs", "2",
+    ])
+    jobs_out = capsys.readouterr().out
+    assert jobs_code == serial_code == 1
+    assert jobs_out == serial_out
